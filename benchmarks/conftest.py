@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every figure/table of the paper has its own ``test_bench_*.py`` module.  The
+synthetic Fig. 6 harnesses share one :class:`AcceptanceExperiment` instance
+(session scope) so that technology settings evaluated for one figure are
+reused by the others — mirroring how the paper evaluates one fixed set of
+applications under different SER/HPD/ArC settings.
+
+The experiment preset is the laptop-scale ``fast`` preset; see EXPERIMENTS.md
+for the mapping between these scaled-down runs and the paper's full setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.synthetic import AcceptanceExperiment, ExperimentPreset
+
+
+@pytest.fixture(scope="session")
+def acceptance_experiment() -> AcceptanceExperiment:
+    """The shared synthetic experiment used by the Fig. 6 benchmarks."""
+    return AcceptanceExperiment(preset=ExperimentPreset.fast())

@@ -1,0 +1,94 @@
+"""Benchmark E15 (ablation) — heuristic vs. exhaustive optimum on small instances.
+
+The paper's stack (DesignStrategy + tabu mapping + RedundancyOpt) is a
+heuristic.  On instances small enough to enumerate completely (here: 6-process
+synthetic applications on a 2-type node library, plus the paper's own Fig. 1
+example), this ablation measures the optimality gap: the cost of the heuristic
+design divided by the cost of the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.design_strategy import DesignStrategy
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.mapping import MappingAlgorithm
+from repro.experiments.motivational import fig1_application, fig1_node_types, fig1_profile
+from repro.experiments.results import format_table
+from repro.generator.benchmark import BenchmarkConfig, build_platform, generate_benchmark
+
+
+def _compare_on_small_instances():
+    rows = []
+
+    # The paper's own example first.
+    node_types = list(fig1_node_types())
+    heuristic = DesignStrategy(
+        node_types, mapping_algorithm=MappingAlgorithm(max_iterations=6)
+    ).explore(fig1_application(), fig1_profile())
+    optimal = ExhaustiveSearch(node_types, max_nodes=2).explore(
+        fig1_application(), fig1_profile()
+    )
+    rows.append(
+        {
+            "instance": "fig1",
+            "heuristic": heuristic.cost if heuristic.feasible else float("inf"),
+            "optimal": optimal.cost if optimal.feasible else float("inf"),
+        }
+    )
+
+    # Small synthetic instances.
+    config = BenchmarkConfig(n_processes=6, n_node_types=2)
+    for seed in range(31, 35):
+        instance = generate_benchmark(seed, config=config)
+        types, profile = build_platform(instance, 1e-11, 25.0)
+        heuristic = DesignStrategy(
+            types, mapping_algorithm=MappingAlgorithm(max_iterations=6)
+        ).explore(instance.application, profile)
+        optimal = ExhaustiveSearch(types, max_nodes=2).explore(
+            instance.application, profile
+        )
+        rows.append(
+            {
+                "instance": instance.name,
+                "heuristic": heuristic.cost if heuristic.feasible else float("inf"),
+                "optimal": optimal.cost if optimal.feasible else float("inf"),
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_heuristic_vs_exhaustive(benchmark):
+    rows = benchmark.pedantic(_compare_on_small_instances, rounds=1, iterations=1)
+
+    table_rows = []
+    for row in rows:
+        if row["optimal"] == float("inf"):
+            gap = "-"
+        elif row["heuristic"] == float("inf"):
+            gap = "infeasible"
+        else:
+            gap = f"{row['heuristic'] / row['optimal']:.2f}x"
+        table_rows.append([row["instance"], row["heuristic"], row["optimal"], gap])
+    print()
+    print(
+        format_table(
+            ["instance", "heuristic cost", "exhaustive optimum", "gap"],
+            table_rows,
+            title="Ablation — optimality gap of the paper's heuristic stack",
+        )
+    )
+
+    solvable = [row for row in rows if row["optimal"] != float("inf")]
+    assert solvable, "the exhaustive search should solve at least one instance"
+    for row in solvable:
+        # The heuristic may be suboptimal but must never beat the optimum, and
+        # whenever the optimum exists the heuristic should find something.
+        if row["heuristic"] != float("inf"):
+            assert row["heuristic"] >= row["optimal"] - 1e-9
+    solved_both = [row for row in solvable if row["heuristic"] != float("inf")]
+    assert solved_both
+    mean_gap = sum(row["heuristic"] / row["optimal"] for row in solved_both) / len(solved_both)
+    print(f"mean optimality gap over {len(solved_both)} instances: {mean_gap:.2f}x")
+    assert mean_gap <= 2.0

@@ -1,0 +1,41 @@
+"""Benchmark E3 — Appendix A.2: the worked SFP computation example.
+
+Regenerates every intermediate number of the paper's hand computation for the
+Fig. 4a architecture (probability of no faults, per-node exceedance for k=0
+and k=1, system failure probability and the resulting one-hour reliability).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivational import appendix_sfp_example
+from repro.experiments.results import format_table
+
+
+def test_bench_appendix_sfp_example(benchmark):
+    example = benchmark.pedantic(appendix_sfp_example, rounds=5, iterations=1)
+
+    rows = [
+        ["Pr(0; N1^2)", example["pr_no_fault_n1"], 0.99997500015],
+        ["Pr(f>0; N1^2)", example["pr_exceeds_0_n1"], 2.4999844e-05],
+        ["Pr(f>1; N1^2)", example["pr_exceeds_1_n1"], 4.8e-10],
+        ["system failure (k=1)", example["system_failure_k1"], 9.6e-10],
+        ["reliability (k=0)", example["reliability_k0"], 0.60652871884],
+        ["reliability (k=1)", example["reliability_k1"], 0.99999040004],
+    ]
+    print()
+    print(
+        format_table(
+            ["quantity", "measured", "paper"],
+            [[name, f"{measured:.12g}", f"{paper:.12g}"] for name, measured, paper in rows],
+            title="Appendix A.2 — worked SFP example",
+        )
+    )
+
+    assert example["pr_no_fault_n1"] == pytest.approx(0.99997500015, abs=1e-12)
+    assert example["pr_exceeds_1_n1"] == pytest.approx(4.8e-10, abs=1e-12)
+    assert example["system_failure_k1"] == pytest.approx(9.6e-10, abs=1e-12)
+    assert example["reliability_k1"] == pytest.approx(0.99999040004, abs=1e-7)
+    assert example["meets_goal_k0"] == 0.0
+    assert example["meets_goal_k1"] == 1.0

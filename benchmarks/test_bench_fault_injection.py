@@ -1,0 +1,62 @@
+"""Benchmark E11 (ablation) — Monte-Carlo fault injection vs. analytic model.
+
+The paper takes per-process failure probabilities from fault-injection tools;
+this repository substitutes a Monte-Carlo campaign over an abstract processor
+model.  The benchmark measures the campaign's throughput and checks that the
+empirical estimates agree with the analytic fault model used by the synthetic
+experiments.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import format_table
+from repro.faults.hardening import SelectiveHardeningPlan, apply_selective_hardening
+from repro.faults.injection import FaultInjectionCampaign
+from repro.faults.processor import ProcessorModel
+
+
+def _run_campaign():
+    processor = ProcessorModel(
+        name="ecu",
+        flip_flops=50_000,
+        upset_rate_per_ff_cycle=2e-12,
+        clock_mhz=100.0,
+        architectural_derating=0.1,
+    )
+    plan = SelectiveHardeningPlan.linear(5, max_hardened_fraction=0.99, max_slowdown_percent=25.0)
+    campaign = FaultInjectionCampaign(runs=20_000, seed=123)
+    rows = []
+    for level in plan.levels:
+        hardened = apply_selective_hardening(processor, plan, level)
+        estimate = campaign.inject(hardened, wcet_ms=10.0)
+        analytic = hardened.failure_probability(10.0)
+        rows.append(
+            {
+                "level": level,
+                "estimate": estimate.failure_probability,
+                "analytic": analytic,
+                "interval": estimate.confidence_interval(z=4.0),
+            }
+        )
+    return rows
+
+
+def test_bench_fault_injection_campaign(benchmark):
+    rows = benchmark.pedantic(_run_campaign, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["hardening level", "injected p", "analytic p"],
+            [[row["level"], f"{row['estimate']:.3e}", f"{row['analytic']:.3e}"] for row in rows],
+            title="Fault-injection campaign vs. analytic fault model (20k runs/level)",
+        )
+    )
+
+    # The analytic value must fall inside the campaign's confidence interval,
+    # and hardening must monotonically reduce the estimated failure rate from
+    # the baseline to the most hardened level.
+    for row in rows:
+        low, high = row["interval"]
+        assert low <= row["analytic"] <= high
+    assert rows[0]["estimate"] >= rows[-1]["estimate"]

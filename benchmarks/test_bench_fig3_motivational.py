@@ -1,0 +1,46 @@
+"""Benchmark E1 — Fig. 2 / Fig. 3: hardware recovery vs. software recovery.
+
+Regenerates the single-process motivational example: for each h-version of
+node N1 the number of re-executions required by the SFP analysis, the
+worst-case schedule length and the cost.  Expected paper values: k = 6 / 2 / 1,
+worst-case delays 680 / 340 / 340 ms, only the two hardened versions meet the
+360 ms deadline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.motivational import evaluate_fig3_alternatives
+from repro.experiments.results import format_table
+
+
+def test_bench_fig3_hardware_vs_software_recovery(benchmark):
+    outcomes = benchmark.pedantic(evaluate_fig3_alternatives, rounds=3, iterations=1)
+
+    rows = [
+        [
+            outcome.label,
+            outcome.reexecutions["N1"],
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for outcome in outcomes
+    ]
+    print()
+    print(
+        format_table(
+            ["h-version", "k", "worst-case SL (ms)", "cost", "schedulable"],
+            rows,
+            title="Fig. 3 — hardware vs. software recovery (paper: k=6/2/1, SL=680/340/340)",
+        )
+    )
+
+    by_label = {outcome.label: outcome for outcome in outcomes}
+    assert by_label["N1^1"].reexecutions["N1"] == 6
+    assert by_label["N1^2"].reexecutions["N1"] == 2
+    assert by_label["N1^3"].reexecutions["N1"] == 1
+    assert by_label["N1^1"].schedule_length == 680.0
+    assert by_label["N1^2"].schedule_length == 340.0
+    assert by_label["N1^3"].schedule_length == 340.0
+    assert not by_label["N1^1"].schedulable
+    assert by_label["N1^2"].schedulable and by_label["N1^3"].schedulable

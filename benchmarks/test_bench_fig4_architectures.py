@@ -1,0 +1,46 @@
+"""Benchmark E2 — Fig. 4: architecture alternatives for the Fig. 1 application.
+
+Regenerates the five alternatives (a)-(e) with their hardening levels,
+re-execution counts, worst-case schedule lengths, costs and schedulability.
+Expected paper values: costs 72/32/40/64/80, only (a) and (e) schedulable,
+so the distributed architecture with intermediate hardening (a) wins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.motivational import evaluate_fig4_alternatives
+from repro.experiments.results import format_table
+
+
+def test_bench_fig4_architecture_alternatives(benchmark):
+    outcomes = benchmark.pedantic(evaluate_fig4_alternatives, rounds=3, iterations=1)
+
+    rows = [
+        [
+            label,
+            ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
+            ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for label, outcome in outcomes.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["alt", "h-versions", "k", "worst-case SL (ms)", "cost", "schedulable"],
+            rows,
+            title="Fig. 4 — architecture alternatives (paper: only a and e schedulable)",
+        )
+    )
+
+    assert [outcomes[label].cost for label in "abcde"] == [72.0, 32.0, 40.0, 64.0, 80.0]
+    assert [outcomes[label].schedulable for label in "abcde"] == [
+        True,
+        False,
+        False,
+        False,
+        True,
+    ]
+    assert outcomes["a"].cost < outcomes["e"].cost

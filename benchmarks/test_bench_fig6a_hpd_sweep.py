@@ -1,0 +1,39 @@
+"""Benchmark E4 — Fig. 6a: % accepted architectures vs. HPD (SER=1e-11, ArC=20).
+
+Paper series (150 applications): MIN stays at 76 % regardless of HPD, MAX
+drops from 71 % to 41 % as HPD grows from 5 % to 100 %, OPT dominates with
+94 % down to 84 %.  The laptop-scale run uses the ``fast`` preset (see
+EXPERIMENTS.md); the asserted properties are the qualitative shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault_model import SER_MEDIUM
+from repro.experiments.synthetic import PAPER_HPD_VALUES, render_hpd_sweep
+
+
+def test_bench_fig6a_accepted_vs_hpd(benchmark, acceptance_experiment):
+    def run():
+        return acceptance_experiment.hpd_sweep(
+            ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, max_cost=20.0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_hpd_sweep(
+            sweep, "Fig. 6a — % accepted vs. HPD (SER=1e-11, ArC=20), fast preset"
+        )
+    )
+    print("paper (150 apps): HPD 5/25/50/100% -> MIN 76/76/76/76, MAX 71/63/49/41, OPT 94/86/84/84")
+
+    hpd_low, hpd_high = PAPER_HPD_VALUES[0], PAPER_HPD_VALUES[-1]
+    # MIN ignores hardening, hence is flat across HPD.
+    assert sweep[hpd_low]["MIN"] == sweep[hpd_high]["MIN"]
+    # MAX suffers from the performance degradation.
+    assert sweep[hpd_high]["MAX"] <= sweep[hpd_low]["MAX"]
+    # OPT dominates both baselines at every HPD.
+    for values in sweep.values():
+        assert values["OPT"] >= values["MIN"]
+        assert values["OPT"] >= values["MAX"]

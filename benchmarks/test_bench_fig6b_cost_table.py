@@ -1,0 +1,41 @@
+"""Benchmark E5 — Fig. 6b: % accepted for HPD in {5,25,50,100} x ArC in {15,20,25}.
+
+Paper table (SER=1e-11): MAX improves sharply as the cost cap ArC is relaxed
+(e.g. 35 -> 71 -> 92 at HPD=5 %), MIN is insensitive to HPD and only mildly
+sensitive to ArC (76/76/82), OPT dominates every cell.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault_model import SER_MEDIUM
+from repro.experiments.synthetic import (
+    PAPER_ARC_VALUES,
+    PAPER_HPD_VALUES,
+    render_cost_table,
+)
+
+
+def test_bench_fig6b_cost_table(benchmark, acceptance_experiment):
+    def run():
+        return acceptance_experiment.cost_table(
+            ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, arc_values=PAPER_ARC_VALUES
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_cost_table(table, "Fig. 6b — % accepted per (HPD, ArC), SER=1e-11, fast preset"))
+    print(
+        "paper (150 apps), HPD=5%: ArC 15/20/25 -> MAX 35/71/92, MIN 76/76/82, OPT 92/94/98"
+    )
+
+    arc_low, arc_high = PAPER_ARC_VALUES[0], PAPER_ARC_VALUES[-1]
+    for hpd in PAPER_HPD_VALUES:
+        # Relaxing the cost cap never hurts any strategy and helps MAX most.
+        for strategy in ("MIN", "MAX", "OPT"):
+            assert table[hpd][arc_high][strategy] >= table[hpd][arc_low][strategy]
+        # OPT dominates both baselines in every cell.
+        for arc in PAPER_ARC_VALUES:
+            cell = table[hpd][arc]
+            assert cell["OPT"] >= cell["MIN"]
+            assert cell["OPT"] >= cell["MAX"]

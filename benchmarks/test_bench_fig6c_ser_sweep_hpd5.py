@@ -1,0 +1,38 @@
+"""Benchmark E6 — Fig. 6c: % accepted architectures vs. SER (HPD=5 %, ArC=20).
+
+Paper series: at SER=1e-12 the MIN strategy is as good as OPT (software fault
+tolerance alone reaches the reliability goal); at SER=1e-11 OPT starts to pull
+ahead; at SER=1e-10 OPT is significantly better than both MIN and MAX.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.synthetic import PAPER_SER_VALUES, render_hpd_sweep
+
+
+def test_bench_fig6c_accepted_vs_ser_hpd5(benchmark, acceptance_experiment):
+    def run():
+        return acceptance_experiment.ser_sweep(
+            hpd=5.0, ser_values=PAPER_SER_VALUES, max_cost=20.0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_hpd_sweep(
+            sweep, "Fig. 6c — % accepted vs. SER (HPD=5%, ArC=20), fast preset"
+        )
+    )
+    print("paper shape: OPT == MIN at 1e-12, OPT > MIN at 1e-11, OPT >> MIN at 1e-10")
+
+    ser_low, ser_medium, ser_high = PAPER_SER_VALUES
+    # Software-only fault tolerance degrades as the error rate grows ...
+    assert sweep[ser_high]["MIN"] <= sweep[ser_low]["MIN"]
+    # ... while OPT keeps dominating everywhere.
+    for values in sweep.values():
+        assert values["OPT"] >= values["MIN"]
+        assert values["OPT"] >= values["MAX"]
+    # At the highest error rate the gap between OPT and MIN is the largest.
+    gaps = {ser: sweep[ser]["OPT"] - sweep[ser]["MIN"] for ser in PAPER_SER_VALUES}
+    assert gaps[ser_high] >= gaps[ser_low]

@@ -1,0 +1,40 @@
+"""Benchmark E7 — Fig. 6d: % accepted architectures vs. SER (HPD=100 %, ArC=20).
+
+Same sweep as Fig. 6c but with the harshest hardening performance degradation:
+the MAX strategy is hurt across the board (its nodes are both expensive and
+slow), while OPT still dominates because it only hardens where the schedule
+can afford it.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault_model import SER_MEDIUM
+from repro.experiments.synthetic import PAPER_SER_VALUES, render_hpd_sweep
+
+
+def test_bench_fig6d_accepted_vs_ser_hpd100(benchmark, acceptance_experiment):
+    def run():
+        return acceptance_experiment.ser_sweep(
+            hpd=100.0, ser_values=PAPER_SER_VALUES, max_cost=20.0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_hpd_sweep(
+            sweep, "Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20), fast preset"
+        )
+    )
+    print("paper shape: MAX is hurt by HPD=100% at every SER; OPT still dominates")
+
+    for values in sweep.values():
+        assert values["OPT"] >= values["MIN"]
+        assert values["OPT"] >= values["MAX"]
+
+    # With HPD=100 % the MAX strategy can never beat its own HPD=5 % numbers
+    # (cross-check against the Fig. 6c sweep cached in the same experiment).
+    gentle = acceptance_experiment.ser_sweep(
+        hpd=5.0, ser_values=(SER_MEDIUM,), max_cost=20.0
+    )
+    assert sweep[SER_MEDIUM]["MAX"] <= gentle[SER_MEDIUM]["MAX"]

@@ -1,0 +1,36 @@
+"""Benchmark E13 (performance) — list scheduler scaling with application size.
+
+Measures the static scheduling of synthetic applications of 20 and 40
+processes (the two sizes used in the paper's evaluation) onto a two-node
+architecture, including bus scheduling and recovery-slack computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architecture import Architecture, Node
+from repro.core.mapping import MappingAlgorithm
+from repro.generator.benchmark import BenchmarkConfig, build_platform, generate_benchmark
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+@pytest.mark.parametrize("n_processes", [20, 40])
+def test_bench_list_scheduler_scaling(benchmark, n_processes):
+    instance = generate_benchmark(
+        seed=7, config=BenchmarkConfig(n_processes=n_processes, n_node_types=3)
+    )
+    node_types, profile = build_platform(instance, 1e-11, 25.0)
+    architecture = Architecture([Node(nt.name, nt) for nt in node_types[:2]])
+    architecture.set_min_hardening()
+    application = instance.application
+    mapping = MappingAlgorithm().initial_mapping(application, architecture, profile)
+    budgets = {node.name: 2 for node in architecture}
+    scheduler = ListScheduler()
+
+    schedule = benchmark(
+        scheduler.schedule, application, architecture, mapping, profile, budgets
+    )
+
+    schedule.validate()
+    assert len(schedule.processes) == n_processes

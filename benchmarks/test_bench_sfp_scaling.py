@@ -1,0 +1,25 @@
+"""Benchmark E12 (performance) — SFP analysis scaling.
+
+The SFP analysis sits in the innermost loop of every heuristic (it is invoked
+for every hardening vector of every mapping move), so its cost matters.  This
+benchmark measures formula (4) — the per-node exceedance probability — for a
+node hosting 40 processes with a re-execution budget of 6, i.e. the largest
+configuration the paper's synthetic experiments produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sfp import probability_exceeds
+
+
+@pytest.mark.parametrize("processes, budget", [(10, 2), (40, 6)])
+def test_bench_sfp_exceedance_scaling(benchmark, processes, budget):
+    probabilities = [1e-5 * (1 + (index % 7)) for index in range(processes)]
+
+    result = benchmark(probability_exceeds, probabilities, budget)
+
+    assert 0.0 <= result <= 1.0
+    # More faults than the budget is astronomically unlikely at these rates.
+    assert result < 1e-3

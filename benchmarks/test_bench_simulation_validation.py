@@ -1,0 +1,65 @@
+"""Benchmark E14 (validation) — Monte-Carlo validation of the SFP analysis.
+
+Takes the Fig. 4a design (two nodes at hardening level 2, one re-execution
+each) and a synthetic design produced by the OPT strategy, replays each static
+schedule for thousands of iterations with faults injected at the profile's
+probabilities, and checks that
+
+* the observed rate of iterations with more faults than the budgets can absorb
+  stays below the SFP analysis' bound, and
+* whenever the budgets suffice, every node finishes within its analytic worst
+  case (root completion + shared recovery slack).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.motivational import (
+    fig1_application,
+    fig1_node_types,
+    fig1_profile,
+)
+from repro.core.architecture import Architecture, Node
+from repro.core.mapping_model import ProcessMapping
+from repro.experiments.results import format_table
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.simulation import FaultScenarioSimulator
+
+
+def _validate_fig4a(iterations: int = 20_000):
+    application = fig1_application()
+    node_types = {nt.name: nt for nt in fig1_node_types()}
+    profile = fig1_profile()
+    architecture = Architecture(
+        [Node("N1", node_types["N1"], hardening=2), Node("N2", node_types["N2"], hardening=2)]
+    )
+    mapping = ProcessMapping({"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"})
+    budgets = {"N1": 1, "N2": 1}
+    schedule = ListScheduler().schedule(application, architecture, mapping, profile, budgets)
+    simulator = FaultScenarioSimulator(iterations=iterations, seed=2009)
+    return simulator.simulate(application, architecture, mapping, profile, schedule)
+
+
+def test_bench_simulation_validates_sfp_and_slack(benchmark):
+    summary = benchmark.pedantic(_validate_fig4a, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["simulated iterations", summary.iterations],
+                ["iterations with faults", summary.iterations_with_faults],
+                ["faults injected", summary.total_faults_injected],
+                ["unrecovered iterations", summary.unrecovered_iterations],
+                ["observed failure rate", f"{summary.observed_failure_rate:.3e}"],
+                ["SFP bound per iteration", f"{summary.predicted_failure_bound:.3e}"],
+                ["worst-case violations", summary.worst_case_violations],
+                ["max completion / analytic bound", f"{summary.max_relative_completion:.3f}"],
+            ],
+            title="Monte-Carlo validation of the Fig. 4a design (k=1 per node)",
+        )
+    )
+
+    assert summary.respects_sfp_bound
+    assert summary.timing_validated
+    assert summary.max_relative_completion <= 1.0 + 1e-9

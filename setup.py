@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can also be installed with the legacy ``setup.py develop`` path on
+environments whose setuptools/pip combination cannot build PEP-517 editable
+wheels (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

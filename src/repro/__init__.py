@@ -1,0 +1,103 @@
+"""repro — hardening-aware design optimization of fault-tolerant embedded systems.
+
+A faithful, laptop-scale reproduction of
+
+    V. Izosimov, I. Polian, P. Pop, P. Eles, Z. Peng,
+    "Analysis and Optimization of Fault-Tolerant Embedded Systems with
+    Hardened Processors", DATE 2009.
+
+The public API re-exports the most commonly used classes; see the package
+documentation (README.md and DESIGN.md) for an architecture overview and
+``examples/`` for runnable entry points.
+"""
+
+from repro.core import (
+    Application,
+    Architecture,
+    ArchitectureEnumerator,
+    DesignResult,
+    DesignStrategy,
+    ExecutionProfile,
+    FaultModel,
+    FixedHardeningRedundancyOpt,
+    HardeningModel,
+    HVersion,
+    MappingAlgorithm,
+    MappingResult,
+    Message,
+    Node,
+    NodeType,
+    Objective,
+    Process,
+    ProcessMapping,
+    RedundancyDecision,
+    RedundancyOpt,
+    ReExecutionDecision,
+    ReExecutionOpt,
+    SFPAnalysis,
+    SFPReport,
+    TaskGraph,
+    TechnologyModel,
+    acceptance_rate,
+    all_strategies,
+    doubling_cost_node_type,
+    failure_probability_from_ser,
+    linear_cost_node_type,
+    max_hardening_strategy,
+    min_hardening_strategy,
+    optimized_strategy,
+)
+from repro.comm import Bus, SimpleBus, TDMABus
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.scheduling import ListScheduler, Schedule, ScheduledMessage, ScheduledProcess
+from repro.simulation import FaultScenarioSimulator, SimulationSummary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Application",
+    "Architecture",
+    "ArchitectureEnumerator",
+    "Bus",
+    "DesignResult",
+    "DesignStrategy",
+    "ExecutionProfile",
+    "ExhaustiveSearch",
+    "FaultModel",
+    "FaultScenarioSimulator",
+    "FixedHardeningRedundancyOpt",
+    "HVersion",
+    "HardeningModel",
+    "ListScheduler",
+    "MappingAlgorithm",
+    "MappingResult",
+    "Message",
+    "Node",
+    "NodeType",
+    "Objective",
+    "Process",
+    "ProcessMapping",
+    "RedundancyDecision",
+    "RedundancyOpt",
+    "ReExecutionDecision",
+    "ReExecutionOpt",
+    "SFPAnalysis",
+    "SFPReport",
+    "Schedule",
+    "ScheduledMessage",
+    "ScheduledProcess",
+    "SimpleBus",
+    "SimulationSummary",
+    "TDMABus",
+    "TaskGraph",
+    "TechnologyModel",
+    "acceptance_rate",
+    "all_strategies",
+    "doubling_cost_node_type",
+    "failure_probability_from_ser",
+    "linear_cost_node_type",
+    "max_hardening_strategy",
+    "min_hardening_strategy",
+    "optimized_strategy",
+]

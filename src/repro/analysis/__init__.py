@@ -1,0 +1,23 @@
+"""Derived reliability and cost analyses built on top of the SFP machinery."""
+
+from repro.analysis.cost import (
+    CostBreakdown,
+    architecture_cost_breakdown,
+    relative_cost_saving,
+)
+from repro.analysis.reliability import (
+    failures_in_time,
+    mean_time_to_failure_hours,
+    mission_reliability,
+    probability_of_failure_per_hour,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "architecture_cost_breakdown",
+    "failures_in_time",
+    "mean_time_to_failure_hours",
+    "mission_reliability",
+    "probability_of_failure_per_hour",
+    "relative_cost_saving",
+]

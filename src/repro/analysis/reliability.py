@@ -1,0 +1,62 @@
+"""Reliability metrics derived from the per-iteration system failure probability.
+
+The SFP analysis of the paper produces the probability that one *iteration*
+of the application fails.  Designers usually reason in other units — failure
+probability per hour (the paper's reliability goal), mean time to failure,
+FIT rates, or the probability of surviving a whole mission.  The conversions
+below assume that iterations fail independently with the same probability,
+which is exactly the assumption underlying formula (6) of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.application import ONE_HOUR_MS
+from repro.utils.validation import require_in_unit_interval, require_positive
+
+#: Number of device-hours in the conventional FIT unit (failures per 1e9 hours).
+FIT_HOURS = 1e9
+
+
+def probability_of_failure_per_hour(
+    per_iteration_failure: float, period_ms: float
+) -> float:
+    """Probability of at least one system failure during one hour of operation."""
+    require_in_unit_interval(per_iteration_failure, "per_iteration_failure")
+    require_positive(period_ms, "period_ms")
+    iterations = ONE_HOUR_MS / period_ms
+    return 1.0 - (1.0 - per_iteration_failure) ** iterations
+
+
+def mission_reliability(
+    per_iteration_failure: float, period_ms: float, mission_hours: float
+) -> float:
+    """Probability of surviving a mission of ``mission_hours`` without failure."""
+    require_positive(mission_hours, "mission_hours")
+    per_hour = probability_of_failure_per_hour(per_iteration_failure, period_ms)
+    return (1.0 - per_hour) ** mission_hours
+
+
+def mean_time_to_failure_hours(
+    per_iteration_failure: float, period_ms: float
+) -> float:
+    """Expected number of hours until the first system failure.
+
+    Returns ``inf`` when the per-iteration failure probability is zero.
+    """
+    require_in_unit_interval(per_iteration_failure, "per_iteration_failure")
+    require_positive(period_ms, "period_ms")
+    if per_iteration_failure == 0.0:
+        return math.inf
+    # Geometric distribution over iterations: mean = 1/p iterations.
+    mean_iterations = 1.0 / per_iteration_failure
+    return mean_iterations * period_ms / ONE_HOUR_MS
+
+
+def failures_in_time(per_iteration_failure: float, period_ms: float) -> float:
+    """FIT rate: expected number of failures per 1e9 hours of operation."""
+    mttf = mean_time_to_failure_hours(per_iteration_failure, period_ms)
+    if math.isinf(mttf):
+        return 0.0
+    return FIT_HOURS / mttf

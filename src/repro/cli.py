@@ -1,0 +1,233 @@
+"""Command-line interface of the library.
+
+``repro-ftes`` exposes the paper's experiments from the shell:
+
+* ``repro-ftes motivational`` — reproduce the Fig. 3 / Fig. 4 motivational
+  examples and the Appendix A.2 worked SFP computation.
+* ``repro-ftes synthetic`` — run the Fig. 6 acceptance-rate experiments
+  (choose the figure with ``--figure`` and the effort with ``--preset``).
+* ``repro-ftes cruise-control`` — run the cruise-controller case study.
+
+All output is plain text (tables / ASCII bars); nothing is written to disk
+unless ``--output`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.motivational import (
+    appendix_sfp_example,
+    evaluate_fig3_alternatives,
+    evaluate_fig4_alternatives,
+)
+from repro.experiments.results import format_table
+from repro.experiments.synthetic import (
+    AcceptanceExperiment,
+    ExperimentPreset,
+    figure_6a_hpd_sweep,
+    figure_6b_cost_table,
+    figure_6c_ser_sweep,
+    figure_6d_ser_sweep,
+    render_cost_table,
+    render_hpd_sweep,
+)
+from repro.experiments.cruise_control import run_cruise_controller_study
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ftes",
+        description=(
+            "Reproduction of 'Analysis and Optimization of Fault-Tolerant "
+            "Embedded Systems with Hardened Processors' (DATE 2009)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    motivational = subparsers.add_parser(
+        "motivational", help="Fig. 3 / Fig. 4 examples and the Appendix A.2 SFP example"
+    )
+    motivational.set_defaults(handler=_run_motivational)
+
+    synthetic = subparsers.add_parser(
+        "synthetic", help="Fig. 6 synthetic acceptance-rate experiments"
+    )
+    synthetic.add_argument(
+        "--figure",
+        choices=["6a", "6b", "6c", "6d", "all"],
+        default="6a",
+        help="which figure of the paper to regenerate",
+    )
+    synthetic.add_argument(
+        "--preset",
+        choices=["smoke", "fast", "paper"],
+        default="fast",
+        help="experiment size/effort preset",
+    )
+    synthetic.set_defaults(handler=_run_synthetic)
+
+    cruise = subparsers.add_parser(
+        "cruise-control", help="vehicle cruise controller case study"
+    )
+    cruise.set_defaults(handler=_run_cruise_control)
+
+    for sub in (motivational, synthetic, cruise):
+        sub.add_argument(
+            "--output",
+            type=Path,
+            default=None,
+            help="optional path to also write the results as JSON",
+        )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+# ----------------------------------------------------------------------
+# Sub-command handlers
+# ----------------------------------------------------------------------
+def _run_motivational(arguments: argparse.Namespace) -> int:
+    fig3 = evaluate_fig3_alternatives()
+    fig3_rows = [
+        [
+            outcome.label,
+            outcome.reexecutions.get("N1", 0),
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for outcome in fig3
+    ]
+    print(
+        format_table(
+            ["h-version", "k", "worst-case SL (ms)", "cost", "schedulable"],
+            fig3_rows,
+            title="Fig. 3 — hardware vs. software recovery (single process)",
+        )
+    )
+    print()
+    fig4 = evaluate_fig4_alternatives()
+    fig4_rows = [
+        [
+            label,
+            ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
+            ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for label, outcome in fig4.items()
+    ]
+    print(
+        format_table(
+            ["alt", "h-versions", "re-executions", "worst-case SL (ms)", "cost", "schedulable"],
+            fig4_rows,
+            title="Fig. 4 — architecture alternatives for the Fig. 1 application",
+        )
+    )
+    print()
+    appendix = appendix_sfp_example()
+    print("Appendix A.2 — worked SFP example")
+    for key, value in appendix.items():
+        print(f"  {key} = {value:.12g}")
+    _maybe_write_json(
+        arguments,
+        {
+            "fig3": [outcome.__dict__ for outcome in fig3],
+            "fig4": {label: outcome.__dict__ for label, outcome in fig4.items()},
+            "appendix": appendix,
+        },
+    )
+    return 0
+
+
+def _run_synthetic(arguments: argparse.Namespace) -> int:
+    preset = {
+        "smoke": ExperimentPreset.smoke,
+        "fast": ExperimentPreset.fast,
+        "paper": ExperimentPreset.paper,
+    }[arguments.preset]()
+    experiment = AcceptanceExperiment(preset=preset)
+    payload = {}
+    figures = (
+        ["6a", "6b", "6c", "6d"] if arguments.figure == "all" else [arguments.figure]
+    )
+    for figure in figures:
+        if figure == "6a":
+            sweep = figure_6a_hpd_sweep(experiment)
+            print(render_hpd_sweep(sweep, "Fig. 6a — % accepted vs. HPD (SER=1e-11, ArC=20)"))
+            payload["6a"] = sweep
+        elif figure == "6b":
+            table = figure_6b_cost_table(experiment)
+            print(render_cost_table(table, "Fig. 6b — % accepted vs. (HPD, ArC) at SER=1e-11"))
+            payload["6b"] = {str(k): v for k, v in table.items()}
+        elif figure == "6c":
+            sweep = figure_6c_ser_sweep(experiment)
+            print(render_hpd_sweep(sweep, "Fig. 6c — % accepted vs. SER (HPD=5%, ArC=20)"))
+            payload["6c"] = sweep
+        elif figure == "6d":
+            sweep = figure_6d_ser_sweep(experiment)
+            print(render_hpd_sweep(sweep, "Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20)"))
+            payload["6d"] = sweep
+        print()
+    _maybe_write_json(arguments, payload)
+    return 0
+
+
+def _run_cruise_control(arguments: argparse.Namespace) -> int:
+    study = run_cruise_controller_study()
+    rows = []
+    for strategy, outcome in study.outcomes.items():
+        rows.append(
+            [
+                strategy,
+                "yes" if outcome.schedulable else "no",
+                outcome.cost if outcome.schedulable else float("inf"),
+                outcome.schedule_length,
+                ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
+                ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "schedulable", "cost", "worst-case SL (ms)", "h-versions", "re-executions"],
+            rows,
+            title="Cruise controller case study (D=300 ms, rho=1-1.2e-5)",
+        )
+    )
+    print()
+    print(f"OPT cost saving over MAX: {study.opt_saving_vs_max * 100:.1f}%")
+    _maybe_write_json(
+        arguments,
+        {
+            "outcomes": {
+                strategy: outcome.__dict__ for strategy, outcome in study.outcomes.items()
+            },
+            "opt_saving_vs_max": study.opt_saving_vs_max,
+        },
+    )
+    return 0
+
+
+def _maybe_write_json(arguments: argparse.Namespace, payload: dict) -> None:
+    if getattr(arguments, "output", None) is None:
+        return
+    arguments.output.write_text(
+        json.dumps(payload, indent=2, default=str), encoding="utf-8"
+    )
+    print(f"results written to {arguments.output}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation only
+    sys.exit(main())

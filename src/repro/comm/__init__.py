@@ -1,0 +1,5 @@
+"""Communication substrate: time-triggered shared bus models."""
+
+from repro.comm.bus import Bus, SimpleBus, TDMABus
+
+__all__ = ["Bus", "SimpleBus", "TDMABus"]

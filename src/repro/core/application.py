@@ -1,0 +1,475 @@
+"""Application model: processes, messages and acyclic task graphs.
+
+The paper (Section 2) models an application ``A`` as a set of directed acyclic
+graphs ``G_k(V_k, E_k)``.  Each node ``P_i`` is a *process*; an edge ``e_ij``
+is a *message* carrying the output of ``P_i`` to ``P_j``.  A process becomes
+ready once all of its input messages have arrived and cannot be preempted.
+
+This module provides three classes:
+
+* :class:`Process` — a non-preemptable unit of computation.
+* :class:`Message` — a directed data dependency with a worst-case bus
+  transmission time.
+* :class:`TaskGraph` — one DAG of processes and messages (thin wrapper around
+  :class:`networkx.DiGraph` with validation and timing helpers).
+* :class:`Application` — a set of task graphs plus the global real-time and
+  reliability parameters (deadline ``D``, period ``T``, recovery overhead
+  ``mu``, reliability goal ``rho`` and the time unit ``tau``).
+
+All times are expressed in milliseconds, matching the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.exceptions import ModelError
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_non_negative,
+    require_positive,
+)
+
+#: One hour expressed in milliseconds — the paper's default time unit ``tau``.
+ONE_HOUR_MS = 3_600_000.0
+
+
+@dataclass(frozen=True)
+class Process:
+    """A non-preemptable process of the application.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the process within the application.
+    nominal_wcet:
+        Optional worst-case execution time (ms) on a *reference* node without
+        hardening.  It is used by the synthetic generator and by execution
+        profile builders; algorithms never read it directly — they always go
+        through an :class:`~repro.core.profile.ExecutionProfile`.
+    criticality:
+        Optional designer-provided criticality weight.  It is not used by the
+        paper's heuristics but is kept for the replication policy extension.
+    """
+
+    name: str
+    nominal_wcet: Optional[float] = None
+    criticality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("Process name must be a non-empty string")
+        if self.nominal_wcet is not None:
+            require_positive(self.nominal_wcet, f"nominal_wcet of {self.name}")
+        require_positive(self.criticality, f"criticality of {self.name}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message exchanged between two processes over the shared bus.
+
+    The worst-case transmission time is an input of the problem (Section 2:
+    "the worst-case size of messages is given, which implicitly can be
+    translated into the worst-case transmission time on the bus").  If the
+    communicating processes end up mapped to the same computation node the
+    message is exchanged through local memory and takes zero time on the bus.
+    """
+
+    name: str
+    source: str
+    destination: str
+    transmission_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("Message name must be a non-empty string")
+        if self.source == self.destination:
+            raise ModelError(
+                f"Message {self.name} connects {self.source} to itself; "
+                "self-loops are not allowed in an acyclic task graph"
+            )
+        require_non_negative(self.transmission_time, f"transmission_time of {self.name}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.source}->{self.destination})"
+
+
+class TaskGraph:
+    """A directed acyclic graph of processes connected by messages."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ModelError("TaskGraph name must be a non-empty string")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._messages: Dict[Tuple[str, str], Message] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> Process:
+        """Add ``process`` to the graph.  Re-adding the same name is an error."""
+        if process.name in self._graph:
+            raise ModelError(
+                f"Process {process.name} already exists in task graph {self.name}"
+            )
+        self._graph.add_node(process.name, process=process)
+        return process
+
+    def add_message(self, message: Message) -> Message:
+        """Add a data dependency; both endpoints must already be processes."""
+        for endpoint in (message.source, message.destination):
+            if endpoint not in self._graph:
+                raise ModelError(
+                    f"Message {message.name} references unknown process {endpoint} "
+                    f"in task graph {self.name}"
+                )
+        key = (message.source, message.destination)
+        if key in self._messages:
+            raise ModelError(
+                f"A message from {message.source} to {message.destination} "
+                f"already exists in task graph {self.name}"
+            )
+        self._graph.add_edge(message.source, message.destination, message=message)
+        self._messages[key] = message
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(message.source, message.destination)
+            del self._messages[key]
+            raise ModelError(
+                f"Adding message {message.name} would create a cycle in task "
+                f"graph {self.name}"
+            )
+        return message
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> List[Process]:
+        """All processes, in insertion order."""
+        return [self._graph.nodes[name]["process"] for name in self._graph.nodes]
+
+    @property
+    def process_names(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    @property
+    def messages(self) -> List[Message]:
+        """All messages, in insertion order."""
+        return list(self._messages.values())
+
+    def process(self, name: str) -> Process:
+        try:
+            return self._graph.nodes[name]["process"]
+        except KeyError as exc:
+            raise ModelError(f"Unknown process {name} in task graph {self.name}") from exc
+
+    def message_between(self, source: str, destination: str) -> Optional[Message]:
+        """Return the message from ``source`` to ``destination`` or ``None``."""
+        return self._messages.get((source, destination))
+
+    def has_process(self, name: str) -> bool:
+        return name in self._graph
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        return list(self._graph.successors(name))
+
+    def incoming_messages(self, name: str) -> List[Message]:
+        return [self._messages[(pred, name)] for pred in self._graph.predecessors(name)]
+
+    def outgoing_messages(self, name: str) -> List[Message]:
+        return [self._messages[(name, succ)] for succ in self._graph.successors(name)]
+
+    def sources(self) -> List[str]:
+        """Processes with no predecessors (entry points of the graph)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        """Processes with no successors (exit points of the graph)."""
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def topological_order(self) -> List[str]:
+        return list(nx.topological_sort(self._graph))
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self.processes)
+
+    # ------------------------------------------------------------------
+    # timing helpers
+    # ------------------------------------------------------------------
+    def critical_path_length(
+        self,
+        execution_time: Callable[[str], float],
+        include_messages: bool = True,
+    ) -> float:
+        """Length of the longest path through the graph.
+
+        Parameters
+        ----------
+        execution_time:
+            Callable returning the execution time of a process given its name.
+        include_messages:
+            When true, message transmission times contribute to the path
+            length (the pessimistic assumption that every dependency crosses
+            the bus); when false only computation contributes (the fully
+            local, single-node view).
+        """
+        longest: Dict[str, float] = {}
+        for name in self.topological_order():
+            best_arrival = 0.0
+            for pred in self.predecessors(name):
+                arrival = longest[pred]
+                if include_messages:
+                    message = self._messages[(pred, name)]
+                    arrival += message.transmission_time
+                best_arrival = max(best_arrival, arrival)
+            longest[name] = best_arrival + execution_time(name)
+        return max(longest.values(), default=0.0)
+
+    def downward_rank(
+        self,
+        execution_time: Callable[[str], float],
+        include_messages: bool = True,
+    ) -> Dict[str, float]:
+        """Longest path from each process to any sink (inclusive of itself).
+
+        This is the classic *upward rank* priority used by list schedulers:
+        processes with a longer remaining path are scheduled first.
+        """
+        rank: Dict[str, float] = {}
+        for name in reversed(self.topological_order()):
+            best_tail = 0.0
+            for succ in self.successors(name):
+                tail = rank[succ]
+                if include_messages:
+                    message = self._messages[(name, succ)]
+                    tail += message.transmission_time
+                best_tail = max(best_tail, tail)
+            rank[name] = best_tail + execution_time(name)
+        return rank
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying :class:`networkx.DiGraph`."""
+        return self._graph.copy()
+
+
+class Application:
+    """A complete application: task graphs plus real-time/reliability goals.
+
+    Parameters
+    ----------
+    name:
+        Human-readable application name.
+    deadline:
+        Global hard deadline ``D`` in milliseconds; the worst-case schedule
+        length of one application iteration must not exceed it.
+    period:
+        Application period ``T`` in milliseconds.  Defaults to the deadline,
+        matching the paper's worked example (Appendix A.2 uses ``T = 360 ms``
+        for the application whose deadline is 360 ms).
+    reliability_goal:
+        ``rho = 1 - gamma``; the probability that the system survives all
+        transient faults during one time unit ``tau``.
+    time_unit:
+        Duration ``tau`` over which the reliability goal is expressed, in
+        milliseconds.  The paper uses one hour.
+    recovery_overhead:
+        Default recovery overhead ``mu`` in milliseconds charged before every
+        re-execution.  Individual processes may override it through
+        ``recovery_overheads``.
+    recovery_overheads:
+        Optional per-process overrides of the recovery overhead (the synthetic
+        benchmarks draw ``mu`` per process as 1-10 % of its WCET).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        deadline: float,
+        reliability_goal: float,
+        recovery_overhead: float = 0.0,
+        period: Optional[float] = None,
+        time_unit: float = ONE_HOUR_MS,
+        recovery_overheads: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if not name:
+            raise ModelError("Application name must be a non-empty string")
+        self.name = name
+        self.deadline = require_positive(deadline, "deadline")
+        self.reliability_goal = require_in_unit_interval(reliability_goal, "reliability_goal")
+        self.recovery_overhead = require_non_negative(recovery_overhead, "recovery_overhead")
+        self.period = require_positive(period if period is not None else deadline, "period")
+        self.time_unit = require_positive(time_unit, "time_unit")
+        self._graphs: Dict[str, TaskGraph] = {}
+        self._recovery_overheads: Dict[str, float] = {}
+        if recovery_overheads:
+            for process_name, value in recovery_overheads.items():
+                self._recovery_overheads[process_name] = require_non_negative(
+                    value, f"recovery overhead of {process_name}"
+                )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_graph(self, graph: TaskGraph) -> TaskGraph:
+        """Attach a task graph; process names must be globally unique."""
+        if graph.name in self._graphs:
+            raise ModelError(f"Task graph {graph.name} already part of {self.name}")
+        existing = set(self.process_names())
+        clash = existing.intersection(graph.process_names)
+        if clash:
+            raise ModelError(
+                f"Task graph {graph.name} redefines processes {sorted(clash)} "
+                f"already present in application {self.name}"
+            )
+        self._graphs[graph.name] = graph
+        return graph
+
+    def new_graph(self, name: str) -> TaskGraph:
+        """Create, attach and return an empty task graph."""
+        graph = TaskGraph(name)
+        return self.add_graph(graph)
+
+    def set_recovery_overhead(self, process_name: str, value: float) -> None:
+        """Override the recovery overhead ``mu`` for one process."""
+        if process_name not in set(self.process_names()):
+            raise ModelError(
+                f"Cannot set recovery overhead: unknown process {process_name}"
+            )
+        self._recovery_overheads[process_name] = require_non_negative(
+            value, f"recovery overhead of {process_name}"
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def graphs(self) -> List[TaskGraph]:
+        return list(self._graphs.values())
+
+    def graph(self, name: str) -> TaskGraph:
+        try:
+            return self._graphs[name]
+        except KeyError as exc:
+            raise ModelError(f"Unknown task graph {name} in application {self.name}") from exc
+
+    @property
+    def gamma(self) -> float:
+        """Maximum allowed probability of system failure per time unit."""
+        return 1.0 - self.reliability_goal
+
+    @property
+    def iterations_per_time_unit(self) -> float:
+        """Number of application iterations executed during ``tau`` (= tau/T)."""
+        return self.time_unit / self.period
+
+    def processes(self) -> List[Process]:
+        """All processes of all task graphs, in graph insertion order."""
+        result: List[Process] = []
+        for graph in self._graphs.values():
+            result.extend(graph.processes)
+        return result
+
+    def process_names(self) -> List[str]:
+        return [process.name for process in self.processes()]
+
+    def process(self, name: str) -> Process:
+        for graph in self._graphs.values():
+            if graph.has_process(name):
+                return graph.process(name)
+        raise ModelError(f"Unknown process {name} in application {self.name}")
+
+    def graph_of(self, process_name: str) -> TaskGraph:
+        """Return the task graph containing ``process_name``."""
+        for graph in self._graphs.values():
+            if graph.has_process(process_name):
+                return graph
+        raise ModelError(f"Unknown process {process_name} in application {self.name}")
+
+    def messages(self) -> List[Message]:
+        result: List[Message] = []
+        for graph in self._graphs.values():
+            result.extend(graph.messages)
+        return result
+
+    def recovery_overhead_of(self, process_name: str) -> float:
+        """Recovery overhead ``mu`` charged before re-executing a process."""
+        return self._recovery_overheads.get(process_name, self.recovery_overhead)
+
+    def number_of_processes(self) -> int:
+        return sum(len(graph) for graph in self._graphs.values())
+
+    def validate(self) -> None:
+        """Check global consistency; raise :class:`ModelError` when violated."""
+        if not self._graphs:
+            raise ModelError(f"Application {self.name} has no task graphs")
+        if self.number_of_processes() == 0:
+            raise ModelError(f"Application {self.name} has no processes")
+        if self.period > self.deadline:
+            # A period longer than the deadline is legal (the schedule must
+            # simply finish before the deadline within each period), but a
+            # deadline longer than the period would allow overlapping
+            # iterations which the static cyclic schedule does not model.
+            return
+        if self.deadline > self.period:
+            raise ModelError(
+                f"Application {self.name}: deadline ({self.deadline}) exceeds "
+                f"period ({self.period}); overlapping iterations are not supported"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Application(name={self.name!r}, graphs={len(self._graphs)}, "
+            f"processes={self.number_of_processes()}, deadline={self.deadline}, "
+            f"rho={self.reliability_goal})"
+        )
+
+
+def build_chain_application(
+    name: str,
+    wcets: Iterable[float],
+    deadline: float,
+    reliability_goal: float,
+    recovery_overhead: float,
+    message_time: float = 0.0,
+) -> Application:
+    """Convenience builder: a single linear chain ``P1 -> P2 -> ... -> Pn``.
+
+    Useful in tests and examples where the exact graph shape is irrelevant.
+    """
+    application = Application(
+        name=name,
+        deadline=deadline,
+        reliability_goal=reliability_goal,
+        recovery_overhead=recovery_overhead,
+    )
+    graph = application.new_graph(f"{name}_chain")
+    previous: Optional[Process] = None
+    for index, wcet in enumerate(wcets, start=1):
+        process = graph.add_process(Process(f"P{index}", nominal_wcet=wcet))
+        if previous is not None:
+            graph.add_message(
+                Message(
+                    name=f"m{index - 1}",
+                    source=previous.name,
+                    destination=process.name,
+                    transmission_time=message_time,
+                )
+            )
+        previous = process
+    return application

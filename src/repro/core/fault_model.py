@@ -1,0 +1,279 @@
+"""Transient-fault and hardening models.
+
+Section 7 of the paper describes the synthetic setup: three fabrication
+technologies with average soft error rates (SER) per clock cycle of 1e-10,
+1e-11 and 1e-12 at the minimum hardening level; five hardening levels; a
+*hardening performance degradation* (HPD) between 5 % and 100 % spread
+linearly over the levels; and costs growing linearly with the level.
+
+This module turns those technology-level parameters into the per-process
+quantities the rest of the library consumes:
+
+* :class:`TechnologyModel` — raw SER per clock cycle and clock frequency.
+* :class:`HardeningModel` — how each hardening level scales the SER (fault
+  reduction) and the WCET (performance degradation).
+* :class:`FaultModel` — combines both and derives ``p_ijh``/``t_ijh`` tables,
+  i.e. an :class:`~repro.core.profile.ExecutionProfile`, for a whole
+  application/platform.
+
+The derivation is analytic (``p = 1 - (1 - SER_h)^cycles``); the Monte-Carlo
+fault-injection campaign in :mod:`repro.faults.injection` provides an
+empirical counterpart and is cross-validated against this model in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.application import Application
+from repro.core.architecture import NodeType
+from repro.core.exceptions import ModelError
+from repro.core.profile import ExecutionProfile
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_non_negative,
+    require_positive,
+)
+
+#: SER per clock cycle of the densest technology considered in the paper.
+SER_HIGH = 1e-10
+#: SER per clock cycle of the intermediate technology.
+SER_MEDIUM = 1e-11
+#: SER per clock cycle of the most mature (least dense) technology.
+SER_LOW = 1e-12
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Fabrication-technology parameters of a computation node.
+
+    Parameters
+    ----------
+    ser_per_cycle:
+        Average probability that one clock cycle is hit by a soft error, at
+        the minimum hardening level.
+    clock_mhz:
+        Clock frequency of the node in MHz, used to convert a WCET expressed
+        in milliseconds into a number of clock cycles.
+    """
+
+    ser_per_cycle: float
+    clock_mhz: float = 100.0
+
+    def __post_init__(self) -> None:
+        require_in_unit_interval(self.ser_per_cycle, "ser_per_cycle")
+        require_positive(self.clock_mhz, "clock_mhz")
+
+    def cycles_for(self, wcet_ms: float) -> float:
+        """Number of clock cycles needed to execute for ``wcet_ms`` milliseconds."""
+        require_positive(wcet_ms, "wcet_ms")
+        return wcet_ms * 1e-3 * self.clock_mhz * 1e6
+
+
+class HardeningModel:
+    """How hardening levels scale the soft error rate and the WCET.
+
+    Parameters
+    ----------
+    levels:
+        Number of hardening levels (the paper uses 5 in the synthetic
+        experiments and 3 in the motivational examples).
+    ser_reduction_per_level:
+        Multiplicative reduction of the SER for each additional hardening
+        level.  The paper's tables (Fig. 1, Fig. 3) show roughly two orders of
+        magnitude per level, so the default is 100.
+    performance_degradation:
+        Total hardening performance degradation (HPD) in percent between the
+        minimum and the maximum hardening level.  Per the paper, level 1
+        always adds 1 % to the WCET and the increase grows linearly up to HPD
+        at the maximum level (e.g. HPD=100 % gives 1, 25, 50, 75, 100 %).
+    """
+
+    def __init__(
+        self,
+        levels: int = 5,
+        ser_reduction_per_level: float = 100.0,
+        performance_degradation: float = 25.0,
+    ) -> None:
+        if levels < 1:
+            raise ModelError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self.ser_reduction_per_level = require_positive(
+            ser_reduction_per_level, "ser_reduction_per_level"
+        )
+        if self.ser_reduction_per_level < 1.0:
+            raise ModelError(
+                "ser_reduction_per_level must be >= 1 (hardening cannot make "
+                "the error rate worse)"
+            )
+        self.performance_degradation = require_non_negative(
+            performance_degradation, "performance_degradation"
+        )
+
+    # ------------------------------------------------------------------
+    def ser_scale(self, level: int) -> float:
+        """Multiplier applied to the raw SER at hardening ``level``.
+
+        Level 1 is the baseline (scale 1); every further level divides the
+        SER by ``ser_reduction_per_level``.
+        """
+        self._check_level(level)
+        return self.ser_reduction_per_level ** (-(level - 1))
+
+    def wcet_increase_percent(self, level: int) -> float:
+        """Percentage added to the WCET at hardening ``level``.
+
+        Follows the paper's linear interpolation: level 1 adds 1 %, the top
+        level adds ``performance_degradation`` %, intermediate levels are
+        spaced linearly.  With a single level the increase is simply the full
+        degradation.
+        """
+        self._check_level(level)
+        if self.performance_degradation == 0.0:
+            return 0.0
+        if self.levels == 1:
+            return self.performance_degradation
+        first = min(1.0, self.performance_degradation)
+        last = self.performance_degradation
+        step = (last - first) / (self.levels - 1)
+        return first + step * (level - 1)
+
+    def wcet_scale(self, level: int) -> float:
+        """Multiplier applied to the baseline WCET at hardening ``level``."""
+        return 1.0 + self.wcet_increase_percent(level) / 100.0
+
+    def hardening_levels(self) -> List[int]:
+        return list(range(1, self.levels + 1))
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.levels:
+            raise ModelError(
+                f"Hardening level {level} outside the supported range 1..{self.levels}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HardeningModel(levels={self.levels}, "
+            f"ser_reduction_per_level={self.ser_reduction_per_level}, "
+            f"HPD={self.performance_degradation}%)"
+        )
+
+
+def failure_probability_from_ser(ser_per_cycle: float, cycles: float) -> float:
+    """Probability that at least one cycle of an execution is hit by a fault.
+
+    ``p = 1 - (1 - SER)^cycles``.  For the tiny SER values used here the
+    result is numerically indistinguishable from ``SER * cycles`` but the
+    exact form is kept so the function is also correct for the aggressive
+    error rates of the motivational examples (e.g. 4e-2 in Fig. 3).
+    """
+    require_in_unit_interval(ser_per_cycle, "ser_per_cycle")
+    require_non_negative(cycles, "cycles")
+    if ser_per_cycle == 0.0 or cycles == 0.0:
+        return 0.0
+    survival_per_cycle = 1.0 - ser_per_cycle
+    probability = 1.0 - survival_per_cycle**cycles
+    return min(max(probability, 0.0), 1.0)
+
+
+class FaultModel:
+    """Derives execution profiles from technology + hardening parameters.
+
+    Parameters
+    ----------
+    technology:
+        Either a single :class:`TechnologyModel` shared by all node types, or
+        a mapping ``{node type name: TechnologyModel}``.
+    hardening:
+        The :class:`HardeningModel` describing SER reduction and HPD per
+        level.  All node types share the same hardening model (as in the
+        paper's synthetic setup); heterogeneous ladders can be expressed by
+        building profiles per node type and merging them.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyModel | Mapping[str, TechnologyModel],
+        hardening: HardeningModel,
+    ) -> None:
+        self._default_technology: Optional[TechnologyModel]
+        self._technologies: Dict[str, TechnologyModel]
+        if isinstance(technology, TechnologyModel):
+            self._default_technology = technology
+            self._technologies = {}
+        else:
+            self._default_technology = None
+            self._technologies = dict(technology)
+            if not self._technologies:
+                raise ModelError("technology mapping must not be empty")
+        self.hardening = hardening
+
+    # ------------------------------------------------------------------
+    def technology_for(self, node_type_name: str) -> TechnologyModel:
+        if node_type_name in self._technologies:
+            return self._technologies[node_type_name]
+        if self._default_technology is not None:
+            return self._default_technology
+        raise ModelError(
+            f"No technology model registered for node type {node_type_name!r}"
+        )
+
+    def failure_probability(
+        self, node_type_name: str, wcet_ms: float, level: int
+    ) -> float:
+        """``p_ijh`` for an execution of ``wcet_ms`` on ``node_type`` at ``level``."""
+        technology = self.technology_for(node_type_name)
+        ser = technology.ser_per_cycle * self.hardening.ser_scale(level)
+        cycles = technology.cycles_for(wcet_ms)
+        return failure_probability_from_ser(ser, cycles)
+
+    def wcet(self, baseline_wcet_ms: float, speed_factor: float, level: int) -> float:
+        """``t_ijh`` given the process baseline WCET and the node speed factor."""
+        require_positive(baseline_wcet_ms, "baseline_wcet_ms")
+        require_positive(speed_factor, "speed_factor")
+        return baseline_wcet_ms * speed_factor * self.hardening.wcet_scale(level)
+
+    # ------------------------------------------------------------------
+    def build_profile(
+        self,
+        application: Application,
+        node_types: Sequence[NodeType],
+        baseline_wcets: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionProfile:
+        """Derive the full ``t_ijh``/``p_ijh`` table for an application.
+
+        Parameters
+        ----------
+        application:
+            The application whose processes need profile entries.
+        node_types:
+            The candidate node types of the platform.
+        baseline_wcets:
+            Optional ``{process name: WCET on the reference node}`` mapping;
+            when omitted each process must carry a ``nominal_wcet``.
+        """
+        profile = ExecutionProfile()
+        for process in application.processes():
+            if baseline_wcets is not None and process.name in baseline_wcets:
+                baseline = baseline_wcets[process.name]
+            elif process.nominal_wcet is not None:
+                baseline = process.nominal_wcet
+            else:
+                raise ModelError(
+                    f"Process {process.name} has no nominal WCET and no entry in "
+                    "baseline_wcets; cannot derive its execution profile"
+                )
+            for node_type in node_types:
+                levels = node_type.hardening_levels
+                if len(levels) > self.hardening.levels:
+                    raise ModelError(
+                        f"Node type {node_type.name} offers {len(levels)} hardening "
+                        f"levels but the hardening model only describes "
+                        f"{self.hardening.levels}"
+                    )
+                for level in levels:
+                    wcet = self.wcet(baseline, node_type.speed_factor, level)
+                    probability = self.failure_probability(node_type.name, wcet, level)
+                    profile.add_entry(process.name, node_type.name, level, wcet, probability)
+        return profile

@@ -1,0 +1,124 @@
+"""Process-to-node mapping data type.
+
+A mapping ``M`` assigns every process of the application to exactly one node
+instance of the architecture (the paper writes ``M(Pi) = Nj^h``).  The class
+below is a thin, validated wrapper around a ``{process name: node name}``
+dictionary with the convenience queries used throughout the heuristics and
+the SFP analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture
+from repro.core.exceptions import MappingError
+from repro.core.profile import ExecutionProfile
+
+
+class ProcessMapping:
+    """Assignment of processes to architecture nodes."""
+
+    def __init__(self, assignment: Optional[Mapping[str, str]] = None) -> None:
+        self._assignment: Dict[str, str] = dict(assignment or {})
+
+    # ------------------------------------------------------------------
+    # construction / modification
+    # ------------------------------------------------------------------
+    def assign(self, process: str, node: str) -> None:
+        """Map ``process`` onto ``node`` (overwrites any previous assignment)."""
+        self._assignment[process] = node
+
+    def copy(self) -> "ProcessMapping":
+        return ProcessMapping(self._assignment)
+
+    def moved(self, process: str, node: str) -> "ProcessMapping":
+        """Return a copy of the mapping with one process re-mapped."""
+        clone = self.copy()
+        clone.assign(process, node)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node_of(self, process: str) -> str:
+        try:
+            return self._assignment[process]
+        except KeyError as exc:
+            raise MappingError(f"Process {process} is not mapped to any node") from exc
+
+    def processes_on(self, node: str) -> List[str]:
+        """All processes mapped to ``node`` (insertion order)."""
+        return [process for process, mapped in self._assignment.items() if mapped == node]
+
+    def is_mapped(self, process: str) -> bool:
+        return process in self._assignment
+
+    def items(self):
+        return self._assignment.items()
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self._assignment)
+
+    def used_nodes(self) -> List[str]:
+        """Names of nodes that host at least one process."""
+        seen: Dict[str, None] = {}
+        for node in self._assignment.values():
+            seen.setdefault(node, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessMapping):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignment.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessMapping({self._assignment})"
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        application: Application,
+        architecture: Architecture,
+        profile: Optional[ExecutionProfile] = None,
+    ) -> None:
+        """Check that the mapping is complete and consistent.
+
+        * every process of the application is mapped,
+        * every target node exists in the architecture,
+        * (optionally) the execution profile has an entry for every
+          process/node-type pair at the node's current hardening level.
+        """
+        application_processes = set(application.process_names())
+        mapped_processes = set(self._assignment)
+        missing = application_processes - mapped_processes
+        if missing:
+            raise MappingError(f"Unmapped processes: {sorted(missing)}")
+        extra = mapped_processes - application_processes
+        if extra:
+            raise MappingError(f"Mapping references unknown processes: {sorted(extra)}")
+        for process, node_name in self._assignment.items():
+            if not architecture.has_node(node_name):
+                raise MappingError(
+                    f"Process {process} mapped to unknown node {node_name}"
+                )
+            if profile is not None:
+                node = architecture.node(node_name)
+                if not profile.supports(process, node.node_type.name, node.hardening):
+                    raise MappingError(
+                        f"Process {process} cannot execute on node {node_name} "
+                        f"({node.node_type.name} at hardening {node.hardening}): "
+                        "no execution profile entry"
+                    )

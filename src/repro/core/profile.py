@@ -1,0 +1,209 @@
+"""Execution profiles: WCET ``t_ijh`` and failure probability ``p_ijh`` tables.
+
+The paper assumes that, for every process ``Pi``, node type ``Nj`` and
+hardening level ``h``, two quantities are known:
+
+* ``t_ijh`` — the worst-case execution time of ``Pi`` on the h-version
+  ``Nj^h`` (obtained with WCET analysis tools in the paper), and
+* ``p_ijh`` — the probability that a single execution of ``Pi`` on ``Nj^h``
+  fails because of a transient fault (obtained with fault injection tools in
+  the paper).
+
+:class:`ExecutionProfile` stores both tables and is the single source of
+truth queried by the scheduler, the SFP analysis and every heuristic.  It can
+be populated three ways:
+
+* explicitly, entry by entry (used for the paper's motivational examples whose
+  tables are printed in Fig. 1 and Fig. 3),
+* analytically from a :class:`~repro.core.fault_model.FaultModel` (used for
+  the large synthetic experiments), or
+* empirically from a Monte-Carlo fault-injection campaign
+  (:mod:`repro.faults.injection`), which substitutes the fault-injection tools
+  referenced by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture, Node, NodeType
+from repro.core.exceptions import ProfileError
+from repro.utils.validation import require_in_unit_interval, require_positive
+
+ProfileKey = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One row of the execution profile: ``(t_ijh, p_ijh)``."""
+
+    wcet: float
+    failure_probability: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.wcet, "wcet")
+        require_in_unit_interval(self.failure_probability, "failure_probability")
+
+
+class ExecutionProfile:
+    """Table of worst-case execution times and failure probabilities.
+
+    Entries are keyed by ``(process name, node type name, hardening level)``.
+    A missing entry means the process cannot be mapped onto that node (the
+    mapping heuristics respect this), except that a completely unknown
+    process/node pair raises :class:`ProfileError` to catch typos early.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[ProfileKey, ProfileEntry] = {}
+        self._known_processes: Set[str] = set()
+        self._known_node_types: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_entry(
+        self,
+        process: str,
+        node_type: str,
+        hardening: int,
+        wcet: float,
+        failure_probability: float,
+    ) -> None:
+        """Add (or overwrite) the entry for one (process, node, level) triple."""
+        key = (process, node_type, hardening)
+        self._entries[key] = ProfileEntry(wcet=wcet, failure_probability=failure_probability)
+        self._known_processes.add(process)
+        self._known_node_types.add(node_type)
+
+    @classmethod
+    def from_tables(
+        cls,
+        wcet: Mapping[ProfileKey, float],
+        failure_probability: Mapping[ProfileKey, float],
+    ) -> "ExecutionProfile":
+        """Build a profile from two parallel ``{(p, n, h): value}`` tables."""
+        missing = set(wcet) ^ set(failure_probability)
+        if missing:
+            raise ProfileError(
+                f"WCET and failure-probability tables disagree on keys: {sorted(missing)}"
+            )
+        profile = cls()
+        for key, time in wcet.items():
+            process, node_type, hardening = key
+            profile.add_entry(
+                process, node_type, hardening, time, failure_probability[key]
+            )
+        return profile
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _lookup(self, process: str, node_type: str, hardening: int) -> ProfileEntry:
+        key = (process, node_type, hardening)
+        try:
+            return self._entries[key]
+        except KeyError as exc:
+            raise ProfileError(
+                f"No profile entry for process {process!r} on node type "
+                f"{node_type!r} at hardening level {hardening}"
+            ) from exc
+
+    def wcet(self, process: str, node_type: str, hardening: int) -> float:
+        """Worst-case execution time ``t_ijh`` in milliseconds."""
+        return self._lookup(process, node_type, hardening).wcet
+
+    def failure_probability(self, process: str, node_type: str, hardening: int) -> float:
+        """Probability ``p_ijh`` that a single execution fails."""
+        return self._lookup(process, node_type, hardening).failure_probability
+
+    def wcet_on_node(self, process: str, node: Node) -> float:
+        """WCET of ``process`` on a node instance at its current hardening."""
+        return self.wcet(process, node.node_type.name, node.hardening)
+
+    def failure_probability_on_node(self, process: str, node: Node) -> float:
+        return self.failure_probability(process, node.node_type.name, node.hardening)
+
+    def supports(self, process: str, node_type: str, hardening: Optional[int] = None) -> bool:
+        """Whether ``process`` can be mapped to ``node_type`` (at ``hardening``)."""
+        if hardening is not None:
+            return (process, node_type, hardening) in self._entries
+        return any(
+            key[0] == process and key[1] == node_type for key in self._entries
+        )
+
+    def processes(self) -> List[str]:
+        return sorted(self._known_processes)
+
+    def node_types(self) -> List[str]:
+        return sorted(self._known_node_types)
+
+    def entries(self) -> Dict[ProfileKey, ProfileEntry]:
+        """A copy of the raw table (used by serialization)."""
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # validation and derived quantities
+    # ------------------------------------------------------------------
+    def validate_against(
+        self,
+        application: Application,
+        node_types: Iterable[NodeType],
+    ) -> None:
+        """Check the profile covers every (process, node type, level) triple.
+
+        A profile may legitimately omit triples for processes that cannot run
+        on a given node type, but the common case in the paper is full
+        coverage; this helper lets generators and loaders verify it.
+        """
+        problems: List[str] = []
+        for process in application.process_names():
+            for node_type in node_types:
+                for level in node_type.hardening_levels:
+                    if (process, node_type.name, level) not in self._entries:
+                        problems.append(f"({process}, {node_type.name}, h={level})")
+        if problems:
+            preview = ", ".join(problems[:8])
+            raise ProfileError(
+                f"Execution profile is missing {len(problems)} entries, e.g. {preview}"
+            )
+
+    def average_wcet(self, process: str, node_type: str) -> float:
+        """Average WCET of a process over all hardening levels of a node type."""
+        values = [
+            entry.wcet
+            for key, entry in self._entries.items()
+            if key[0] == process and key[1] == node_type
+        ]
+        if not values:
+            raise ProfileError(
+                f"No entries for process {process!r} on node type {node_type!r}"
+            )
+        return sum(values) / len(values)
+
+    def fastest_node_type_for(
+        self, process: str, node_types: Iterable[NodeType]
+    ) -> NodeType:
+        """Node type with the smallest WCET for ``process`` at min hardening."""
+        best: Optional[Tuple[float, NodeType]] = None
+        for node_type in node_types:
+            if not self.supports(process, node_type.name, node_type.min_hardening):
+                continue
+            time = self.wcet(process, node_type.name, node_type.min_hardening)
+            if best is None or time < best[0]:
+                best = (time, node_type)
+        if best is None:
+            raise ProfileError(f"Process {process!r} cannot run on any offered node type")
+        return best[1]
+
+    def architecture_supports(self, process: str, architecture: Architecture) -> bool:
+        """Whether at least one node of ``architecture`` can execute ``process``."""
+        return any(
+            self.supports(process, node.node_type.name, node.hardening)
+            for node in architecture
+        )

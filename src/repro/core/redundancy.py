@@ -1,0 +1,224 @@
+"""RedundancyOpt — hardware/software redundancy trade-off (Section 6.3).
+
+For a fixed mapping, the heuristic decides the hardening level of every node
+and the number of re-executions on each node such that
+
+* the reliability goal is met (delegated to
+  :class:`~repro.core.reexecution.ReExecutionOpt`),
+* the worst-case schedule length fits the deadline, and
+* the architecture cost is as low as possible.
+
+Following the paper, the heuristic first *increases* hardening greedily until
+a schedulable solution is found (more hardening means fewer re-executions and
+therefore less recovery slack, at the price of slower execution), then
+*trims* hardening level by level as long as the application stays schedulable,
+keeping the cheapest schedulable alternative at every step.
+
+A fixed-hardening variant (:class:`FixedHardeningRedundancyOpt`) implements
+the MIN and MAX baselines of Section 7, where the hardening optimization step
+is removed and only the software redundancy is optimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture
+from repro.core.exceptions import OptimizationError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.core.reexecution import ReExecutionOpt
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class RedundancyDecision:
+    """Hardening levels + re-executions + resulting schedule for one mapping."""
+
+    hardening: Dict[str, int]
+    reexecutions: Dict[str, int]
+    schedule: Schedule
+    cost: float
+    schedule_length: float
+    meets_deadline: bool
+    meets_reliability: bool
+
+    @property
+    def is_feasible(self) -> bool:
+        """Schedulable and reliable — the two hard constraints of the paper."""
+        return self.meets_deadline and self.meets_reliability
+
+
+class _RedundancyEvaluator:
+    """Shared machinery: evaluate one hardening vector for a fixed mapping."""
+
+    def __init__(
+        self,
+        scheduler: Optional[ListScheduler] = None,
+        reexecution_opt: Optional[ReExecutionOpt] = None,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else ListScheduler()
+        self.reexecution_opt = (
+            reexecution_opt if reexecution_opt is not None else ReExecutionOpt()
+        )
+
+    def evaluate_hardening(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+        hardening: Dict[str, int],
+    ) -> RedundancyDecision:
+        """Evaluate one hardening vector: re-executions, schedule, cost."""
+        candidate = architecture.copy()
+        candidate.apply_hardening_vector(hardening)
+        reexecution = self.reexecution_opt.optimize(
+            application, candidate, mapping, profile
+        )
+        if reexecution is None:
+            # Reliability goal unreachable at this hardening level; schedule
+            # with zero re-executions only to report a schedule length.
+            budgets: Dict[str, int] = {node.name: 0 for node in candidate}
+            meets_reliability = False
+        else:
+            budgets = reexecution.reexecutions
+            meets_reliability = True
+        schedule = self.scheduler.schedule(
+            application, candidate, mapping, profile, budgets
+        )
+        return RedundancyDecision(
+            hardening=dict(hardening),
+            reexecutions=dict(budgets),
+            schedule=schedule,
+            cost=candidate.cost,
+            schedule_length=schedule.length,
+            meets_deadline=schedule.length <= application.deadline,
+            meets_reliability=meets_reliability,
+        )
+
+
+class RedundancyOpt(_RedundancyEvaluator):
+    """Hardening/re-execution trade-off heuristic of the paper (OPT)."""
+
+    def optimize(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+    ) -> Optional[RedundancyDecision]:
+        """Return the cheapest feasible redundancy decision for ``mapping``.
+
+        Returns ``None`` when no hardening level combination yields a solution
+        that is both schedulable and reliable (the mapping is then discarded
+        by the caller, as in the paper's Fig. 4d discussion).
+        """
+        hardening = {
+            node.name: node.node_type.min_hardening for node in architecture
+        }
+        decision = self.evaluate_hardening(
+            application, architecture, mapping, profile, hardening
+        )
+
+        # ---------------- Phase 1: harden until feasible -----------------
+        visited = 0
+        max_steps = sum(
+            node.node_type.max_hardening - node.node_type.min_hardening
+            for node in architecture
+        )
+        while not decision.is_feasible and visited <= max_steps:
+            best_candidate: Optional[Tuple[Tuple[int, float], Dict[str, int], RedundancyDecision]] = None
+            for node in architecture:
+                level = hardening[node.name]
+                if level >= node.node_type.max_hardening:
+                    continue
+                trial = dict(hardening)
+                trial[node.name] = level + 1
+                trial_decision = self.evaluate_hardening(
+                    application, architecture, mapping, profile, trial
+                )
+                # Rank: feasible reliability first, then shorter schedules.
+                key = (
+                    0 if trial_decision.meets_reliability else 1,
+                    trial_decision.schedule_length,
+                )
+                if best_candidate is None or key < best_candidate[0]:
+                    best_candidate = (key, trial, trial_decision)
+            if best_candidate is None:
+                return None
+            _, hardening, decision = best_candidate
+            visited += 1
+        if not decision.is_feasible:
+            return None
+
+        # ---------------- Phase 2: trim hardening to cut cost ------------
+        improved = True
+        while improved:
+            improved = False
+            best_candidate = None
+            for node in architecture:
+                level = hardening[node.name]
+                if level <= node.node_type.min_hardening:
+                    continue
+                trial = dict(hardening)
+                trial[node.name] = level - 1
+                trial_decision = self.evaluate_hardening(
+                    application, architecture, mapping, profile, trial
+                )
+                if not trial_decision.is_feasible:
+                    continue
+                key = (trial_decision.cost, trial_decision.schedule_length)
+                if best_candidate is None or key < best_candidate[0]:
+                    best_candidate = (key, trial, trial_decision)
+            if best_candidate is not None and best_candidate[2].cost < decision.cost:
+                _, hardening, decision = best_candidate
+                improved = True
+        return decision
+
+
+class FixedHardeningRedundancyOpt(_RedundancyEvaluator):
+    """Baseline redundancy optimizer with the hardening level locked.
+
+    ``policy="min"`` reproduces the paper's MIN strategy (cheapest, least
+    hardened nodes; reliability achieved through re-execution only), while
+    ``policy="max"`` reproduces MAX (most hardened versions only).
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        scheduler: Optional[ListScheduler] = None,
+        reexecution_opt: Optional[ReExecutionOpt] = None,
+    ) -> None:
+        super().__init__(scheduler=scheduler, reexecution_opt=reexecution_opt)
+        if policy not in ("min", "max"):
+            raise OptimizationError(
+                f"FixedHardeningRedundancyOpt policy must be 'min' or 'max', got {policy!r}"
+            )
+        self.policy = policy
+
+    def optimize(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+    ) -> Optional[RedundancyDecision]:
+        hardening = {
+            node.name: (
+                node.node_type.min_hardening
+                if self.policy == "min"
+                else node.node_type.max_hardening
+            )
+            for node in architecture
+        }
+        decision = self.evaluate_hardening(
+            application, architecture, mapping, profile, hardening
+        )
+        if not decision.is_feasible:
+            return None
+        return decision

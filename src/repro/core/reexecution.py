@@ -1,0 +1,172 @@
+"""ReExecutionOpt — greedy assignment of software re-executions (Section 6.3).
+
+Given an architecture with fixed hardening levels and a mapping, the heuristic
+finds the smallest numbers of re-executions ``k_j`` per node such that the
+system reliability goal ``rho`` is met, using the SFP analysis of Appendix A.
+
+The paper: "It starts without any re-executions in software and increases the
+number of re-executions in a greedy fashion ... the exploration of the number
+of re-executions is guided towards the largest increase in the system
+reliability."  At each step, the node whose additional re-execution lowers the
+system failure probability the most receives one more re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.core.sfp import (
+    SFPAnalysis,
+    probability_exceeds,
+    reliability_over_time_unit,
+    system_failure_probability,
+)
+from repro.utils.rounding import DEFAULT_DECIMALS
+
+
+@dataclass(frozen=True)
+class ReExecutionDecision:
+    """Result of the re-execution optimization."""
+
+    reexecutions: Dict[str, int]
+    system_failure_per_iteration: float
+    reliability_over_time_unit: float
+    meets_goal: bool
+
+    @property
+    def total_reexecutions(self) -> int:
+        return sum(self.reexecutions.values())
+
+
+class ReExecutionOpt:
+    """Greedy re-execution assignment driven by the SFP analysis.
+
+    Parameters
+    ----------
+    max_reexecutions_per_node:
+        Safety cap on ``k_j``; if the goal is not reached within the cap on
+        every node the heuristic reports failure (``None``), which the caller
+        interprets as "this hardening level cannot satisfy the reliability
+        goal with software redundancy alone".
+    decimals:
+        Rounding accuracy forwarded to the SFP analysis.
+    """
+
+    def __init__(
+        self,
+        max_reexecutions_per_node: int = 20,
+        decimals: int = DEFAULT_DECIMALS,
+    ) -> None:
+        if max_reexecutions_per_node < 0:
+            raise ValueError(
+                "max_reexecutions_per_node must be >= 0, got "
+                f"{max_reexecutions_per_node}"
+            )
+        self.max_reexecutions_per_node = max_reexecutions_per_node
+        self.decimals = decimals
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+    ) -> Optional[ReExecutionDecision]:
+        """Return the cheapest re-execution assignment meeting ``rho``.
+
+        Returns ``None`` when the goal cannot be met within the per-node cap
+        (typically because the hardening level is too low for the error rate).
+        """
+        analysis = SFPAnalysis(
+            application, architecture, mapping, profile, decimals=self.decimals
+        )
+        node_names = [node.name for node in architecture]
+        probabilities: Dict[str, List[float]] = {
+            node.name: analysis.node_failure_probabilities(node)
+            for node in architecture
+        }
+        budgets: Dict[str, int] = {name: 0 for name in node_names}
+        exceedance: Dict[str, float] = {
+            name: probability_exceeds(probabilities[name], 0, self.decimals)
+            for name in node_names
+        }
+
+        goal = application.reliability_goal
+        time_unit = application.time_unit
+        period = application.period
+
+        def current_reliability() -> tuple[float, float]:
+            system = system_failure_probability(list(exceedance.values()), self.decimals)
+            return system, reliability_over_time_unit(system, time_unit, period)
+
+        system, reliability = current_reliability()
+        while reliability < goal:
+            best_node: Optional[str] = None
+            best_system = system
+            best_exceedance = 0.0
+            for name in node_names:
+                if budgets[name] >= self.max_reexecutions_per_node:
+                    continue
+                if not probabilities[name]:
+                    # No process mapped on the node: re-executions cannot help.
+                    continue
+                candidate_exceedance = probability_exceeds(
+                    probabilities[name], budgets[name] + 1, self.decimals
+                )
+                candidate_values = [
+                    candidate_exceedance if other == name else exceedance[other]
+                    for other in node_names
+                ]
+                candidate_system = system_failure_probability(
+                    candidate_values, self.decimals
+                )
+                if candidate_system < best_system or (
+                    best_node is None and candidate_system <= best_system
+                ):
+                    # Strictly better, or a tie recorded only if nothing has
+                    # been selected yet (so we can still detect stagnation).
+                    if candidate_system < best_system:
+                        best_node = name
+                        best_system = candidate_system
+                        best_exceedance = candidate_exceedance
+            if best_node is None:
+                # No additional re-execution improves the (rounded) system
+                # failure probability: the goal is unreachable in software.
+                return None
+            budgets[best_node] += 1
+            exceedance[best_node] = best_exceedance
+            system, reliability = current_reliability()
+
+        return ReExecutionDecision(
+            reexecutions=dict(budgets),
+            system_failure_per_iteration=system,
+            reliability_over_time_unit=reliability,
+            meets_goal=True,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+        reexecutions: Dict[str, int],
+    ) -> ReExecutionDecision:
+        """Evaluate a user-supplied assignment without optimizing it."""
+        analysis = SFPAnalysis(
+            application, architecture, mapping, profile, decimals=self.decimals
+        )
+        report = analysis.evaluate(reexecutions)
+        return ReExecutionDecision(
+            reexecutions=dict(report.reexecutions),
+            system_failure_per_iteration=report.system_failure_per_iteration,
+            reliability_over_time_unit=report.reliability_over_time_unit,
+            meets_goal=report.meets_goal,
+        )

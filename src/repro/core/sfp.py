@@ -1,0 +1,314 @@
+"""System Failure Probability (SFP) analysis — Appendix A of the paper.
+
+The SFP analysis connects the hardening level of each computation node (which
+determines the per-process failure probabilities ``p_ijh``) with the number of
+re-executions ``k_j`` that must be provided in software on that node, such
+that the whole system meets its reliability goal ``rho = 1 - gamma`` over a
+time unit ``tau`` (one hour in the paper).
+
+The chain of formulae (numbers refer to the paper):
+
+(1) ``Pr(0; Nj^h) = prod_{Pi on Nj^h} (1 - p_ijh)``
+    — probability that one application iteration executes on node ``Nj^h``
+    without any process failing.
+
+(2)/(3) ``Pr(f; Nj^h) = Pr(0; Nj^h) * sum_{f-fault scenarios} prod p``
+    — probability that exactly ``f`` faults occur (as a combination *with
+    repetitions* over the processes mapped on the node, because the same
+    process may fail several times) and that all re-executions eventually
+    succeed.  The inner sum is the complete homogeneous symmetric polynomial
+    ``h_f`` of the failure probabilities; we evaluate it with an exact dynamic
+    program instead of enumerating multisets (an enumerating reference
+    implementation is kept for the test-suite).
+
+(4) ``Pr(f > kj; Nj^h) = 1 - Pr(0; Nj^h) - sum_{f=1..kj} Pr(f; Nj^h)``
+    — probability that more faults occur on the node than its re-execution
+    budget can tolerate.
+
+(5) ``Pr(U_j (f > kj)) = 1 - prod_j (1 - Pr(f > kj; Nj^h))``
+    — probability that at least one node exceeds its budget in one iteration.
+
+(6) ``(1 - Pr(U_j (f > kj)))^(tau / T) >= rho``
+    — the reliability goal over the time unit.
+
+All intermediate *success* probabilities are rounded **down** and all
+*failure* probabilities are rounded **up** at a configurable accuracy
+(1e-11 in the paper) so the analysis stays pessimistic; see
+:mod:`repro.utils.rounding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal
+from itertools import combinations_with_replacement
+from math import prod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture, Node
+from repro.core.exceptions import ModelError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.utils.rounding import DEFAULT_DECIMALS, ceil_probability, floor_probability
+from repro.utils.validation import require_in_unit_interval, require_positive
+
+
+# ----------------------------------------------------------------------
+# Stateless building blocks operating on plain probability lists
+# ----------------------------------------------------------------------
+def probability_no_fault(
+    failure_probabilities: Sequence[float],
+    decimals: int = DEFAULT_DECIMALS,
+) -> float:
+    """Formula (1): probability that none of the processes fails.
+
+    An empty probability list (no process mapped on the node) trivially gives
+    probability 1.
+    """
+    for probability in failure_probabilities:
+        require_in_unit_interval(probability, "failure probability")
+    raw = prod(1.0 - p for p in failure_probabilities)
+    return floor_probability(raw, decimals)
+
+
+def complete_homogeneous_sum(
+    failure_probabilities: Sequence[float], faults: int
+) -> float:
+    """Sum over all multisets of size ``faults`` of products of probabilities.
+
+    This is the inner sum of formula (3), i.e. the complete homogeneous
+    symmetric polynomial ``h_f(p_1, ..., p_m)``.  Evaluated with the standard
+    dynamic program: ``h_f`` over the first ``i`` variables equals
+    ``sum_j p_i^j * h_{f-j}`` over the first ``i-1`` variables.
+    """
+    if faults < 0:
+        raise ModelError(f"Number of faults must be >= 0, got {faults}")
+    if faults == 0:
+        return 1.0
+    if not failure_probabilities:
+        return 0.0
+    # table[f] holds h_f over the variables processed so far.
+    table = [0.0] * (faults + 1)
+    table[0] = 1.0
+    for probability in failure_probabilities:
+        for f in range(1, faults + 1):
+            # h_f(new) = h_f(old) + p * h_{f-1}(new): classic recurrence for
+            # complete homogeneous polynomials, processed in increasing f so
+            # that repetitions of the current variable are included.
+            table[f] = table[f] + probability * table[f - 1]
+    return table[faults]
+
+
+def enumerate_fault_scenarios(
+    failure_probabilities: Sequence[float], faults: int
+) -> List[float]:
+    """Reference implementation of the multiset sum of formula (2)/(3).
+
+    Returns the individual products, one per ``f``-fault scenario (combination
+    with repetitions of the faulty processes).  Exponential in ``faults`` —
+    only used by the test-suite to validate
+    :func:`complete_homogeneous_sum`.
+    """
+    if faults == 0:
+        return [1.0]
+    indices = range(len(failure_probabilities))
+    scenarios: List[float] = []
+    for combo in combinations_with_replacement(indices, faults):
+        scenarios.append(prod(failure_probabilities[i] for i in combo))
+    return scenarios
+
+
+def probability_exactly(
+    failure_probabilities: Sequence[float],
+    faults: int,
+    decimals: int = DEFAULT_DECIMALS,
+) -> float:
+    """Formula (3): probability of recovering from exactly ``faults`` faults."""
+    if faults == 0:
+        return probability_no_fault(failure_probabilities, decimals)
+    no_fault = probability_no_fault(failure_probabilities, decimals)
+    raw = no_fault * complete_homogeneous_sum(failure_probabilities, faults)
+    return floor_probability(raw, decimals)
+
+
+def probability_exceeds(
+    failure_probabilities: Sequence[float],
+    reexecutions: int,
+    decimals: int = DEFAULT_DECIMALS,
+) -> float:
+    """Formula (4): probability that more than ``reexecutions`` faults occur.
+
+    ``reexecutions`` is the per-node budget ``k_j``; the node fails when the
+    number of faults in one iteration exceeds it.
+
+    The subtraction ``1 - Pr(0) - sum Pr(f)`` is carried out in decimal
+    arithmetic: the operands are already rounded to ``decimals`` digits, so
+    the result is exact and matches the paper's hand computation (Appendix
+    A.2) instead of picking up binary floating point noise.
+    """
+    if reexecutions < 0:
+        raise ModelError(f"Number of re-executions must be >= 0, got {reexecutions}")
+    survival = Decimal(repr(probability_no_fault(failure_probabilities, decimals)))
+    for faults in range(1, reexecutions + 1):
+        survival += Decimal(
+            repr(probability_exactly(failure_probabilities, faults, decimals))
+        )
+    return ceil_probability(float(Decimal(1) - survival), decimals)
+
+
+def system_failure_probability(
+    per_node_exceedance: Sequence[float],
+    decimals: int = DEFAULT_DECIMALS,
+) -> float:
+    """Formula (5): probability that at least one node exceeds its budget.
+
+    Evaluated in decimal arithmetic on the (already rounded) per-node
+    exceedance probabilities so the union matches the paper's worked example
+    digit for digit.
+    """
+    for probability in per_node_exceedance:
+        require_in_unit_interval(probability, "node exceedance probability")
+    survival = Decimal(1)
+    for probability in per_node_exceedance:
+        survival *= Decimal(1) - Decimal(repr(probability))
+    return ceil_probability(float(Decimal(1) - survival), decimals)
+
+
+def reliability_over_time_unit(
+    per_iteration_failure: float,
+    time_unit: float,
+    period: float,
+) -> float:
+    """Left-hand side of formula (6): survival probability over ``tau``."""
+    require_in_unit_interval(per_iteration_failure, "per_iteration_failure")
+    require_positive(time_unit, "time_unit")
+    require_positive(period, "period")
+    iterations = time_unit / period
+    return (1.0 - per_iteration_failure) ** iterations
+
+
+def meets_reliability_goal(
+    per_iteration_failure: float,
+    reliability_goal: float,
+    time_unit: float,
+    period: float,
+) -> bool:
+    """Formula (6): does the system satisfy ``rho`` over the time unit?"""
+    require_in_unit_interval(reliability_goal, "reliability_goal")
+    achieved = reliability_over_time_unit(per_iteration_failure, time_unit, period)
+    return achieved >= reliability_goal
+
+
+# ----------------------------------------------------------------------
+# Analysis bound to an application / architecture / mapping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SFPReport:
+    """Outcome of one SFP evaluation for a concrete redundancy assignment."""
+
+    per_node_failure: Dict[str, float]
+    system_failure_per_iteration: float
+    reliability_over_time_unit: float
+    reliability_goal: float
+    meets_goal: bool
+    reexecutions: Dict[str, int]
+
+    def margin(self) -> float:
+        """How far above (positive) or below (negative) the goal we are."""
+        return self.reliability_over_time_unit - self.reliability_goal
+
+
+class SFPAnalysis:
+    """SFP analysis bound to an application, architecture, mapping and profile.
+
+    The object is cheap to construct; every query recomputes from the current
+    hardening levels of the architecture nodes, so the optimization heuristics
+    can mutate hardening in place and re-query.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+        decimals: int = DEFAULT_DECIMALS,
+    ) -> None:
+        self.application = application
+        self.architecture = architecture
+        self.mapping = mapping
+        self.profile = profile
+        self.decimals = decimals
+
+    # ------------------------------------------------------------------
+    def node_failure_probabilities(self, node: Node) -> List[float]:
+        """Failure probabilities of all processes mapped on ``node``."""
+        return [
+            self.profile.failure_probability(process, node.node_type.name, node.hardening)
+            for process in self.mapping.processes_on(node.name)
+        ]
+
+    def probability_no_fault(self, node: Node) -> float:
+        """Formula (1) for one node at its current hardening level."""
+        return probability_no_fault(self.node_failure_probabilities(node), self.decimals)
+
+    def probability_exactly(self, node: Node, faults: int) -> float:
+        """Formula (3) for one node at its current hardening level."""
+        return probability_exactly(
+            self.node_failure_probabilities(node), faults, self.decimals
+        )
+
+    def node_exceedance(self, node: Node, reexecutions: int) -> float:
+        """Formula (4): probability node ``Nj`` sees more than ``k_j`` faults."""
+        return probability_exceeds(
+            self.node_failure_probabilities(node), reexecutions, self.decimals
+        )
+
+    def system_failure_per_iteration(self, reexecutions: Mapping[str, int]) -> float:
+        """Formula (5) for the whole architecture."""
+        exceedances = [
+            self.node_exceedance(node, self._budget_of(node, reexecutions))
+            for node in self.architecture
+        ]
+        return system_failure_probability(exceedances, self.decimals)
+
+    def evaluate(self, reexecutions: Mapping[str, int]) -> SFPReport:
+        """Full evaluation of formulae (1)-(6) for a redundancy assignment."""
+        per_node = {
+            node.name: self.node_exceedance(node, self._budget_of(node, reexecutions))
+            for node in self.architecture
+        }
+        system_per_iteration = system_failure_probability(
+            list(per_node.values()), self.decimals
+        )
+        reliability = reliability_over_time_unit(
+            system_per_iteration,
+            self.application.time_unit,
+            self.application.period,
+        )
+        return SFPReport(
+            per_node_failure=per_node,
+            system_failure_per_iteration=system_per_iteration,
+            reliability_over_time_unit=reliability,
+            reliability_goal=self.application.reliability_goal,
+            meets_goal=reliability >= self.application.reliability_goal,
+            reexecutions={
+                node.name: self._budget_of(node, reexecutions)
+                for node in self.architecture
+            },
+        )
+
+    def meets_goal(self, reexecutions: Mapping[str, int]) -> bool:
+        """Does the assignment of re-executions satisfy the reliability goal?"""
+        return self.evaluate(reexecutions).meets_goal
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _budget_of(node: Node, reexecutions: Mapping[str, int]) -> int:
+        budget = reexecutions.get(node.name, 0)
+        if budget < 0:
+            raise ModelError(
+                f"Negative re-execution budget {budget} for node {node.name}"
+            )
+        return budget

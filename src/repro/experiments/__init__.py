@@ -1,0 +1,51 @@
+"""Experiment harnesses reproducing the paper's figures and case study."""
+
+from repro.experiments.motivational import (
+    appendix_sfp_example,
+    evaluate_fig3_alternatives,
+    evaluate_fig4_alternatives,
+    fig1_application,
+    fig1_node_types,
+    fig1_profile,
+    fig3_application,
+    fig3_node_type,
+    fig3_profile,
+)
+from repro.experiments.synthetic import (
+    AcceptanceExperiment,
+    ExperimentPreset,
+    SettingResult,
+    figure_6a_hpd_sweep,
+    figure_6b_cost_table,
+    figure_6c_ser_sweep,
+    figure_6d_ser_sweep,
+)
+from repro.experiments.cruise_control import (
+    cruise_controller_application,
+    cruise_controller_node_types,
+    cruise_controller_profile,
+    run_cruise_controller_study,
+)
+
+__all__ = [
+    "AcceptanceExperiment",
+    "ExperimentPreset",
+    "SettingResult",
+    "appendix_sfp_example",
+    "cruise_controller_application",
+    "cruise_controller_node_types",
+    "cruise_controller_profile",
+    "evaluate_fig3_alternatives",
+    "evaluate_fig4_alternatives",
+    "fig1_application",
+    "fig1_node_types",
+    "fig1_profile",
+    "fig3_application",
+    "fig3_node_type",
+    "fig3_profile",
+    "figure_6a_hpd_sweep",
+    "figure_6b_cost_table",
+    "figure_6c_ser_sweep",
+    "figure_6d_ser_sweep",
+    "run_cruise_controller_study",
+]

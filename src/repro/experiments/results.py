@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results (tables and bar charts).
+
+The paper reports its evaluation as percentage-of-accepted-architectures bar
+charts (Fig. 6a, 6c, 6d) and a table (Fig. 6b).  The helpers below render the
+same rows/series as aligned ASCII so the benchmark harnesses and the CLI can
+print them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned, pipe-separated text table."""
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    value_label: str = "% accepted",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render grouped percentages as horizontal ASCII bars.
+
+    ``series`` maps a group label (e.g. ``"HPD=5%"``) to ``{strategy: value}``
+    where values are percentages in 0..100.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group, values in series.items():
+        lines.append(f"{group}")
+        for key, value in values.items():
+            bar_length = int(round(max(0.0, min(100.0, value)) / 100.0 * width))
+            bar = "#" * bar_length
+            lines.append(f"  {key:<4} {value:6.1f} {value_label} |{bar}")
+    return "\n".join(lines)
+
+
+def percentages(counts: Mapping[str, int], total: int) -> Dict[str, float]:
+    """Convert accepted counts into percentages of ``total``."""
+    if total <= 0:
+        return {key: 0.0 for key in counts}
+    return {key: 100.0 * value / total for key, value in counts.items()}
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,319 @@
+"""Synthetic design-space-exploration experiments (Fig. 6 of the paper).
+
+The paper generates 150 synthetic applications (20 and 40 processes), sweeps
+the soft error rate (SER ∈ {1e-10, 1e-11, 1e-12}), the hardening performance
+degradation (HPD ∈ {5, 25, 50, 100} %) and the maximum architectural cost
+(ArC ∈ {15, 20, 25}), and reports, for the three strategies MIN / MAX / OPT,
+the percentage of applications for which an *accepted* implementation was
+found (reliable + schedulable + within the cost cap).
+
+Running the full 150-application sweep takes hours of CPU (the paper reports
+3-60 minutes per application on a 2.8 GHz Pentium 4); this module therefore
+exposes *presets*: ``ExperimentPreset.paper()`` mirrors the published setup,
+``ExperimentPreset.fast()`` is a scaled-down configuration (fewer, smaller
+applications and reduced tabu-search effort) used by the pytest-benchmark
+harnesses so every figure regenerates in minutes on a laptop.  The qualitative
+shape — MIN flat over HPD, MAX degrading with HPD and cost pressure, OPT
+dominating both, OPT ≈ MIN at low SER and OPT ≫ MIN at high SER — is
+preserved by the scaled-down preset and asserted in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.baselines import (
+    max_hardening_strategy,
+    min_hardening_strategy,
+    optimized_strategy,
+)
+from repro.core.evaluation import DesignResult
+from repro.core.fault_model import SER_HIGH, SER_LOW, SER_MEDIUM
+from repro.core.mapping import MappingAlgorithm
+from repro.experiments.results import format_table
+from repro.generator.benchmark import (
+    BenchmarkConfig,
+    SyntheticBenchmark,
+    build_platform,
+    generate_benchmark_suite,
+)
+
+#: The three strategies compared throughout Section 7.
+STRATEGIES = ("MIN", "MAX", "OPT")
+
+#: HPD values (in percent) used by Fig. 6a and Fig. 6b.
+PAPER_HPD_VALUES = (5.0, 25.0, 50.0, 100.0)
+
+#: Maximum architectural costs used by Fig. 6b.
+PAPER_ARC_VALUES = (15.0, 20.0, 25.0)
+
+#: Soft error rates of the three technologies of Fig. 6c / 6d.
+PAPER_SER_VALUES = (SER_LOW, SER_MEDIUM, SER_HIGH)
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Size/effort knobs of the synthetic experiment harness."""
+
+    n_applications: int
+    process_counts: Tuple[int, ...]
+    n_node_types: int
+    mapping_iterations: int
+    mapping_stop_after: int
+    mapping_candidates: int
+    base_seed: int = 1
+    arc_default: float = 20.0
+
+    @classmethod
+    def paper(cls) -> "ExperimentPreset":
+        """The published setup: 150 applications of 20 and 40 processes."""
+        return cls(
+            n_applications=150,
+            process_counts=(20, 40),
+            n_node_types=4,
+            mapping_iterations=12,
+            mapping_stop_after=4,
+            mapping_candidates=4,
+        )
+
+    @classmethod
+    def fast(cls) -> "ExperimentPreset":
+        """Laptop-scale preset used by the benchmark harnesses."""
+        return cls(
+            n_applications=6,
+            process_counts=(16, 24),
+            n_node_types=3,
+            mapping_iterations=3,
+            mapping_stop_after=2,
+            mapping_candidates=2,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentPreset":
+        """Minimal preset for unit/integration tests."""
+        return cls(
+            n_applications=2,
+            process_counts=(10,),
+            n_node_types=3,
+            mapping_iterations=2,
+            mapping_stop_after=1,
+            mapping_candidates=2,
+        )
+
+    def benchmark_config(self) -> BenchmarkConfig:
+        return BenchmarkConfig(n_node_types=self.n_node_types)
+
+    def mapping_algorithm(self) -> MappingAlgorithm:
+        return MappingAlgorithm(
+            max_iterations=self.mapping_iterations,
+            stop_after_no_improvement=self.mapping_stop_after,
+            max_candidates=self.mapping_candidates,
+        )
+
+
+@dataclass
+class SettingResult:
+    """All strategy results for one (SER, HPD) setting over a benchmark suite."""
+
+    ser: float
+    hpd: float
+    results: Dict[str, List[DesignResult]] = field(default_factory=dict)
+
+    def acceptance_percent(self, max_cost: Optional[float]) -> Dict[str, float]:
+        """Percentage of applications accepted per strategy under ``max_cost``."""
+        output: Dict[str, float] = {}
+        for strategy, results in self.results.items():
+            if not results:
+                output[strategy] = 0.0
+                continue
+            accepted = sum(1 for result in results if result.is_accepted(max_cost))
+            output[strategy] = 100.0 * accepted / len(results)
+        return output
+
+    def average_cost(self, strategy: str) -> float:
+        """Mean architecture cost of the feasible designs of one strategy."""
+        costs = [
+            result.cost for result in self.results.get(strategy, []) if result.feasible
+        ]
+        if not costs:
+            return float("inf")
+        return sum(costs) / len(costs)
+
+
+class AcceptanceExperiment:
+    """Run MIN / MAX / OPT over a suite of synthetic benchmarks.
+
+    The expensive part — running the three strategies for a given SER/HPD
+    technology setting — is decoupled from the cheap part — counting
+    acceptance under different cost caps — exactly because the paper sweeps
+    ArC without re-running the optimization.
+    """
+
+    def __init__(
+        self,
+        preset: Optional[ExperimentPreset] = None,
+        benchmarks: Optional[Sequence[SyntheticBenchmark]] = None,
+        strategies: Sequence[str] = STRATEGIES,
+    ) -> None:
+        self.preset = preset if preset is not None else ExperimentPreset.fast()
+        unknown = set(strategies) - set(STRATEGIES)
+        if unknown:
+            raise ValueError(f"Unknown strategies requested: {sorted(unknown)}")
+        self.strategies = tuple(strategies)
+        if benchmarks is not None:
+            self.benchmarks = list(benchmarks)
+        else:
+            self.benchmarks = generate_benchmark_suite(
+                count=self.preset.n_applications,
+                base_seed=self.preset.base_seed,
+                config=self.preset.benchmark_config(),
+                process_counts=self.preset.process_counts,
+            )
+        self._cache: Dict[Tuple[float, float], SettingResult] = {}
+
+    # ------------------------------------------------------------------
+    def run_setting(self, ser: float, hpd: float) -> SettingResult:
+        """Run all strategies for one (SER, HPD) technology setting."""
+        key = (ser, hpd)
+        if key in self._cache:
+            return self._cache[key]
+        setting = SettingResult(ser=ser, hpd=hpd, results={name: [] for name in self.strategies})
+        for benchmark in self.benchmarks:
+            node_types, profile = build_platform(
+                benchmark,
+                ser_per_cycle=ser,
+                hardening_performance_degradation=hpd,
+            )
+            strategy_objects = self._build_strategies(node_types)
+            for name in self.strategies:
+                result = strategy_objects[name].explore(benchmark.application, profile)
+                setting.results[name].append(result)
+        self._cache[key] = setting
+        return setting
+
+    def _build_strategies(self, node_types) -> Dict[str, object]:
+        algorithm = self.preset.mapping_algorithm()
+        strategies: Dict[str, object] = {}
+        if "MIN" in self.strategies:
+            strategies["MIN"] = min_hardening_strategy(node_types, algorithm)
+        if "MAX" in self.strategies:
+            strategies["MAX"] = max_hardening_strategy(node_types, algorithm)
+        if "OPT" in self.strategies:
+            strategies["OPT"] = optimized_strategy(node_types, algorithm)
+        return strategies
+
+    # ------------------------------------------------------------------
+    def hpd_sweep(
+        self,
+        ser: float,
+        hpd_values: Sequence[float],
+        max_cost: Optional[float],
+    ) -> Dict[float, Dict[str, float]]:
+        """Acceptance percentages per HPD value (Fig. 6a series)."""
+        return {
+            hpd: self.run_setting(ser, hpd).acceptance_percent(max_cost)
+            for hpd in hpd_values
+        }
+
+    def ser_sweep(
+        self,
+        hpd: float,
+        ser_values: Sequence[float],
+        max_cost: Optional[float],
+    ) -> Dict[float, Dict[str, float]]:
+        """Acceptance percentages per SER value (Fig. 6c / 6d series)."""
+        return {
+            ser: self.run_setting(ser, hpd).acceptance_percent(max_cost)
+            for ser in ser_values
+        }
+
+    def cost_table(
+        self,
+        ser: float,
+        hpd_values: Sequence[float],
+        arc_values: Sequence[float],
+    ) -> Dict[float, Dict[float, Dict[str, float]]]:
+        """Acceptance per (HPD, ArC) pair (the Fig. 6b table)."""
+        table: Dict[float, Dict[float, Dict[str, float]]] = {}
+        for hpd in hpd_values:
+            setting = self.run_setting(ser, hpd)
+            table[hpd] = {
+                arc: setting.acceptance_percent(arc) for arc in arc_values
+            }
+        return table
+
+
+# ----------------------------------------------------------------------
+# One function per figure
+# ----------------------------------------------------------------------
+def figure_6a_hpd_sweep(
+    experiment: Optional[AcceptanceExperiment] = None,
+    ser: float = SER_MEDIUM,
+    hpd_values: Sequence[float] = PAPER_HPD_VALUES,
+    max_cost: float = 20.0,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 6a: % accepted architectures vs. HPD (SER=1e-11, ArC=20)."""
+    experiment = experiment if experiment is not None else AcceptanceExperiment()
+    return experiment.hpd_sweep(ser, hpd_values, max_cost)
+
+
+def figure_6b_cost_table(
+    experiment: Optional[AcceptanceExperiment] = None,
+    ser: float = SER_MEDIUM,
+    hpd_values: Sequence[float] = PAPER_HPD_VALUES,
+    arc_values: Sequence[float] = PAPER_ARC_VALUES,
+) -> Dict[float, Dict[float, Dict[str, float]]]:
+    """Fig. 6b: % accepted for each (HPD, ArC) combination at SER=1e-11."""
+    experiment = experiment if experiment is not None else AcceptanceExperiment()
+    return experiment.cost_table(ser, hpd_values, arc_values)
+
+
+def figure_6c_ser_sweep(
+    experiment: Optional[AcceptanceExperiment] = None,
+    hpd: float = 5.0,
+    ser_values: Sequence[float] = PAPER_SER_VALUES,
+    max_cost: float = 20.0,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 6c: % accepted architectures vs. SER for HPD=5 %, ArC=20."""
+    experiment = experiment if experiment is not None else AcceptanceExperiment()
+    return experiment.ser_sweep(hpd, ser_values, max_cost)
+
+
+def figure_6d_ser_sweep(
+    experiment: Optional[AcceptanceExperiment] = None,
+    hpd: float = 100.0,
+    ser_values: Sequence[float] = PAPER_SER_VALUES,
+    max_cost: float = 20.0,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 6d: % accepted architectures vs. SER for HPD=100 %, ArC=20."""
+    experiment = experiment if experiment is not None else AcceptanceExperiment()
+    return experiment.ser_sweep(hpd, ser_values, max_cost)
+
+
+# ----------------------------------------------------------------------
+# Text rendering helpers used by the benchmark harness and the CLI
+# ----------------------------------------------------------------------
+def render_hpd_sweep(sweep: Mapping[float, Mapping[str, float]], title: str) -> str:
+    """Render a HPD (or SER) sweep as a text table, one row per setting."""
+    headers = ["setting"] + list(STRATEGIES)
+    rows = []
+    for setting, values in sweep.items():
+        label = f"{setting:g}"
+        rows.append([label] + [values.get(strategy, 0.0) for strategy in STRATEGIES])
+    return format_table(headers, rows, title=title)
+
+
+def render_cost_table(
+    table: Mapping[float, Mapping[float, Mapping[str, float]]], title: str
+) -> str:
+    """Render the Fig. 6b style table: rows are (HPD, ArC), columns strategies."""
+    headers = ["HPD %", "ArC"] + list(STRATEGIES)
+    rows = []
+    for hpd, per_arc in table.items():
+        for arc, values in per_arc.items():
+            rows.append(
+                [f"{hpd:g}", f"{arc:g}"]
+                + [values.get(strategy, 0.0) for strategy in STRATEGIES]
+            )
+    return format_table(headers, rows, title=title)

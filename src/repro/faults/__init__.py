@@ -1,0 +1,23 @@
+"""Fault-injection substrate.
+
+The paper obtains the per-process failure probabilities ``p_ijh`` from fault
+injection tools (GOOFI, FPGA-based SEU injection).  Those tools and their
+target hardware are not available here, so this package provides the closest
+synthetic equivalent: a small abstract processor model whose sequential state
+elements can be selectively hardened, plus a Monte-Carlo fault-injection
+campaign that estimates the probability that an execution of a given length
+fails.  The analytic fault model (:mod:`repro.core.fault_model`) and the
+campaign agree within statistical error, which the test-suite checks.
+"""
+
+from repro.faults.hardening import SelectiveHardeningPlan, apply_selective_hardening
+from repro.faults.injection import FaultInjectionCampaign, InjectionResult
+from repro.faults.processor import ProcessorModel
+
+__all__ = [
+    "FaultInjectionCampaign",
+    "InjectionResult",
+    "ProcessorModel",
+    "SelectiveHardeningPlan",
+    "apply_selective_hardening",
+]

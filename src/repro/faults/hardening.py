@@ -1,0 +1,134 @@
+"""Selective hardening plans: turning a hardening *level* into a processor.
+
+Hardware hardening in the paper is abstracted as a ladder of h-versions with
+decreasing failure probabilities and increasing WCETs and costs.  This module
+provides the missing link to the processor substrate: a
+:class:`SelectiveHardeningPlan` describes, for each hardening level, which
+fraction of the sequential elements is protected (in the spirit of the
+selective flip-flop hardening of Zhang et al. [21] and the early-design-stage
+selection of Hayes/Polian/Becker [6]) and how much the processor slows down.
+
+``apply_selective_hardening`` then produces the concrete
+:class:`~repro.faults.processor.ProcessorModel` for a level, which the
+fault-injection campaign can exercise to estimate ``p_ijh`` empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.exceptions import ModelError
+from repro.faults.processor import ProcessorModel
+from repro.utils.validation import require_in_unit_interval, require_positive
+
+
+@dataclass(frozen=True)
+class HardeningLevelSpec:
+    """Physical description of one hardening level."""
+
+    level: int
+    hardened_fraction: float
+    slowdown_factor: float
+    hardening_efficiency: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ModelError(f"Hardening level must be >= 1, got {self.level}")
+        require_in_unit_interval(self.hardened_fraction, "hardened_fraction")
+        require_positive(self.slowdown_factor, "slowdown_factor")
+        if self.slowdown_factor < 1.0:
+            raise ModelError("slowdown_factor must be >= 1")
+        require_in_unit_interval(self.hardening_efficiency, "hardening_efficiency")
+
+
+class SelectiveHardeningPlan:
+    """A ladder of hardening levels for one processor.
+
+    Levels must be consecutive integers starting at 1, with monotonically
+    non-decreasing hardened fractions and slowdown factors — a plan in which
+    a higher level protects fewer flip-flops or runs faster than a lower one
+    would be physically inconsistent with the paper's model.
+    """
+
+    def __init__(self, specs: Sequence[HardeningLevelSpec]) -> None:
+        if not specs:
+            raise ModelError("A hardening plan needs at least one level")
+        ordered = sorted(specs, key=lambda spec: spec.level)
+        expected = list(range(1, len(ordered) + 1))
+        if [spec.level for spec in ordered] != expected:
+            raise ModelError(
+                "Hardening levels must be consecutive integers starting at 1, got "
+                f"{[spec.level for spec in ordered]}"
+            )
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.hardened_fraction < earlier.hardened_fraction:
+                raise ModelError(
+                    f"Level {later.level} protects fewer flip-flops than level "
+                    f"{earlier.level}"
+                )
+            if later.slowdown_factor < earlier.slowdown_factor:
+                raise ModelError(
+                    f"Level {later.level} is faster than level {earlier.level}; "
+                    "hardening cannot speed the processor up"
+                )
+        self._specs: Dict[int, HardeningLevelSpec] = {spec.level: spec for spec in ordered}
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[int]:
+        return sorted(self._specs)
+
+    def spec(self, level: int) -> HardeningLevelSpec:
+        try:
+            return self._specs[level]
+        except KeyError as exc:
+            raise ModelError(
+                f"Hardening plan has no level {level}; available: {self.levels}"
+            ) from exc
+
+    @classmethod
+    def linear(
+        cls,
+        levels: int,
+        max_hardened_fraction: float = 0.99,
+        max_slowdown_percent: float = 25.0,
+        hardening_efficiency: float = 0.999,
+    ) -> "SelectiveHardeningPlan":
+        """Build a plan whose protection and slowdown grow linearly with level.
+
+        Level 1 applies no extra protection (the baseline node); the top level
+        protects ``max_hardened_fraction`` of the flip-flops and slows the
+        clock by ``max_slowdown_percent`` — mirroring the HPD model of the
+        synthetic experiments.
+        """
+        if levels < 1:
+            raise ModelError(f"levels must be >= 1, got {levels}")
+        require_in_unit_interval(max_hardened_fraction, "max_hardened_fraction")
+        specs = []
+        for level in range(1, levels + 1):
+            if levels == 1:
+                share = 0.0
+            else:
+                share = (level - 1) / (levels - 1)
+            specs.append(
+                HardeningLevelSpec(
+                    level=level,
+                    hardened_fraction=max_hardened_fraction * share,
+                    slowdown_factor=1.0 + (max_slowdown_percent / 100.0) * share,
+                    hardening_efficiency=hardening_efficiency,
+                )
+            )
+        return cls(specs)
+
+
+def apply_selective_hardening(
+    processor: ProcessorModel, plan: SelectiveHardeningPlan, level: int
+) -> ProcessorModel:
+    """Produce the processor variant corresponding to one hardening level."""
+    spec = plan.spec(level)
+    hardened = processor.with_hardening(
+        hardened_fraction=spec.hardened_fraction,
+        hardening_efficiency=spec.hardening_efficiency,
+    )
+    return hardened.with_slowdown(spec.slowdown_factor)

@@ -1,0 +1,141 @@
+"""Monte-Carlo fault-injection campaign.
+
+This is the synthetic stand-in for the fault-injection tools the paper uses
+to measure process failure probabilities (GOOFI [1], FPGA-based SEU injection
+[18]).  A campaign repeatedly "executes" a process of a given WCET on a
+:class:`~repro.faults.processor.ProcessorModel` and records whether at least
+one program-visible error occurred; the observed failure rate estimates
+``p_ijh`` and converges (the tests check this) to the analytic value of
+:meth:`ProcessorModel.failure_probability`.
+
+Instead of iterating over every clock cycle (billions of iterations), each
+run samples the *number* of error events from the binomial distribution over
+the cycle count — statistically identical and fast enough to profile whole
+applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.application import Application
+from repro.core.architecture import NodeType
+from repro.core.exceptions import ModelError
+from repro.core.profile import ExecutionProfile
+from repro.faults.hardening import SelectiveHardeningPlan, apply_selective_hardening
+from repro.faults.processor import ProcessorModel
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Outcome of one fault-injection campaign for one (process, node, level)."""
+
+    runs: int
+    failures: int
+
+    @property
+    def failure_probability(self) -> float:
+        """Point estimate of the probability that one execution fails."""
+        if self.runs == 0:
+            return 0.0
+        return self.failures / self.runs
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval of the estimate."""
+        if self.runs == 0:
+            return (0.0, 1.0)
+        p = self.failure_probability
+        half_width = z * sqrt(max(p * (1.0 - p), 1e-12) / self.runs)
+        return (max(0.0, p - half_width), min(1.0, p + half_width))
+
+
+class FaultInjectionCampaign:
+    """Monte-Carlo estimation of process failure probabilities.
+
+    Parameters
+    ----------
+    runs:
+        Number of simulated executions per estimate.
+    seed:
+        Seed of the NumPy random generator (campaigns are reproducible).
+    """
+
+    def __init__(self, runs: int = 10_000, seed: Optional[int] = 12345) -> None:
+        if runs < 1:
+            raise ModelError(f"runs must be >= 1, got {runs}")
+        self.runs = runs
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def inject(self, processor: ProcessorModel, wcet_ms: float) -> InjectionResult:
+        """Estimate the failure probability of one execution of ``wcet_ms``."""
+        require_positive(wcet_ms, "wcet_ms")
+        per_cycle = processor.error_probability_per_cycle()
+        cycles = processor.cycles_for(wcet_ms)
+        if per_cycle <= 0.0:
+            return InjectionResult(runs=self.runs, failures=0)
+        # One binomial draw per simulated execution: the number of
+        # program-visible error events over the cycle count.  The execution
+        # fails as soon as at least one event occurred.
+        events = self._rng.binomial(cycles, per_cycle, size=self.runs)
+        failures = int(np.count_nonzero(events))
+        return InjectionResult(runs=self.runs, failures=failures)
+
+    # ------------------------------------------------------------------
+    def profile_application(
+        self,
+        application: Application,
+        node_types: Iterable[NodeType],
+        processors: Mapping[str, ProcessorModel],
+        plan: SelectiveHardeningPlan,
+        baseline_wcets: Optional[Mapping[str, float]] = None,
+    ) -> ExecutionProfile:
+        """Build an :class:`ExecutionProfile` entirely from injection campaigns.
+
+        Parameters
+        ----------
+        processors:
+            One baseline (unhardened) processor model per node type name.
+        plan:
+            Selective hardening plan shared by all node types; level ``h`` of
+            a node type is obtained by applying the plan to its baseline
+            processor.
+        baseline_wcets:
+            Optional per-process WCETs on the reference node; falls back to
+            the processes' ``nominal_wcet``.
+        """
+        profile = ExecutionProfile()
+        for process in application.processes():
+            if baseline_wcets is not None and process.name in baseline_wcets:
+                baseline = baseline_wcets[process.name]
+            elif process.nominal_wcet is not None:
+                baseline = process.nominal_wcet
+            else:
+                raise ModelError(
+                    f"Process {process.name} has no nominal WCET and no entry in "
+                    "baseline_wcets"
+                )
+            for node_type in node_types:
+                if node_type.name not in processors:
+                    raise ModelError(
+                        f"No processor model supplied for node type {node_type.name}"
+                    )
+                baseline_processor = processors[node_type.name]
+                for level in node_type.hardening_levels:
+                    hardened = apply_selective_hardening(baseline_processor, plan, level)
+                    slowdown = plan.spec(level).slowdown_factor
+                    wcet = baseline * node_type.speed_factor * slowdown
+                    estimate = self.inject(hardened, wcet)
+                    profile.add_entry(
+                        process.name,
+                        node_type.name,
+                        level,
+                        wcet,
+                        estimate.failure_probability,
+                    )
+        return profile

@@ -1,0 +1,140 @@
+"""Abstract processor model used by the fault-injection campaign.
+
+The model is intentionally simple — it captures exactly the quantities that
+matter for transient-fault analysis at the granularity the paper works at:
+
+* a population of sequential state elements (flip-flops/latches), each of
+  which can be upset by a particle strike during a clock cycle,
+* a raw upset rate per flip-flop per cycle (a property of the fabrication
+  technology and the environment),
+* an architectural derating factor: the fraction of upsets that actually
+  propagate to a program-visible error (many upsets hit dead state), and
+* a set of *hardened* flip-flops that mask upsets with a given efficiency
+  (selective hardening in the style of Zhang et al. [21]).
+
+The per-cycle probability that an execution step produces a program-visible
+error follows directly from these quantities; the Monte-Carlo campaign in
+:mod:`repro.faults.injection` samples it, and
+:meth:`ProcessorModel.error_probability_per_cycle` provides the closed form
+for cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.exceptions import ModelError
+from repro.utils.validation import require_in_unit_interval, require_positive
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """A processor described by its soft-error-relevant parameters.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    flip_flops:
+        Number of sequential state elements exposed to particle strikes.
+    upset_rate_per_ff_cycle:
+        Probability that one flip-flop is upset during one clock cycle.
+    clock_mhz:
+        Clock frequency; converts execution times (ms) into cycle counts.
+    architectural_derating:
+        Fraction of upsets that become program-visible errors (0..1).
+    hardened_fraction:
+        Fraction of flip-flops protected by hardening (0..1).
+    hardening_efficiency:
+        Probability that a protected flip-flop masks an upset (0..1).
+    """
+
+    name: str
+    flip_flops: int
+    upset_rate_per_ff_cycle: float
+    clock_mhz: float = 100.0
+    architectural_derating: float = 0.1
+    hardened_fraction: float = 0.0
+    hardening_efficiency: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("ProcessorModel name must be a non-empty string")
+        if self.flip_flops < 1:
+            raise ModelError(f"flip_flops must be >= 1, got {self.flip_flops}")
+        require_in_unit_interval(self.upset_rate_per_ff_cycle, "upset_rate_per_ff_cycle")
+        require_positive(self.clock_mhz, "clock_mhz")
+        require_in_unit_interval(self.architectural_derating, "architectural_derating")
+        require_in_unit_interval(self.hardened_fraction, "hardened_fraction")
+        require_in_unit_interval(self.hardening_efficiency, "hardening_efficiency")
+
+    # ------------------------------------------------------------------
+    def cycles_for(self, wcet_ms: float) -> int:
+        """Number of clock cycles executed during ``wcet_ms`` milliseconds."""
+        require_positive(wcet_ms, "wcet_ms")
+        return max(1, int(round(wcet_ms * 1e-3 * self.clock_mhz * 1e6)))
+
+    def error_probability_per_cycle(self) -> float:
+        """Probability that one cycle produces a program-visible error.
+
+        An upset in an *unhardened* flip-flop becomes an error with the
+        architectural derating probability; an upset in a *hardened* flip-flop
+        additionally has to escape the hardening (probability
+        ``1 - hardening_efficiency``).
+        """
+        unhardened_ffs = self.flip_flops * (1.0 - self.hardened_fraction)
+        hardened_ffs = self.flip_flops * self.hardened_fraction
+        effective_unhardened = unhardened_ffs * self.upset_rate_per_ff_cycle
+        effective_hardened = (
+            hardened_ffs
+            * self.upset_rate_per_ff_cycle
+            * (1.0 - self.hardening_efficiency)
+        )
+        rate = (effective_unhardened + effective_hardened) * self.architectural_derating
+        return min(1.0, rate)
+
+    def failure_probability(self, wcet_ms: float) -> float:
+        """Analytic probability that an execution of ``wcet_ms`` fails."""
+        per_cycle = self.error_probability_per_cycle()
+        cycles = self.cycles_for(wcet_ms)
+        if per_cycle == 0.0:
+            return 0.0
+        return 1.0 - (1.0 - per_cycle) ** cycles
+
+    # ------------------------------------------------------------------
+    def with_hardening(
+        self, hardened_fraction: float, hardening_efficiency: Optional[float] = None
+    ) -> "ProcessorModel":
+        """Return a copy with a different amount of selective hardening."""
+        return ProcessorModel(
+            name=self.name,
+            flip_flops=self.flip_flops,
+            upset_rate_per_ff_cycle=self.upset_rate_per_ff_cycle,
+            clock_mhz=self.clock_mhz,
+            architectural_derating=self.architectural_derating,
+            hardened_fraction=hardened_fraction,
+            hardening_efficiency=(
+                hardening_efficiency
+                if hardening_efficiency is not None
+                else self.hardening_efficiency
+            ),
+        )
+
+    def with_slowdown(self, slowdown_factor: float) -> "ProcessorModel":
+        """Return a copy running at a reduced clock (hardening slows circuits)."""
+        require_positive(slowdown_factor, "slowdown_factor")
+        if slowdown_factor < 1.0:
+            raise ModelError(
+                f"slowdown_factor must be >= 1 (hardening never speeds up a "
+                f"processor), got {slowdown_factor}"
+            )
+        return ProcessorModel(
+            name=self.name,
+            flip_flops=self.flip_flops,
+            upset_rate_per_ff_cycle=self.upset_rate_per_ff_cycle,
+            clock_mhz=self.clock_mhz / slowdown_factor,
+            architectural_derating=self.architectural_derating,
+            hardened_fraction=self.hardened_fraction,
+            hardening_efficiency=self.hardening_efficiency,
+        )

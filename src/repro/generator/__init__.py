@@ -1,0 +1,22 @@
+"""Synthetic benchmark generation (Section 7 experimental setup)."""
+
+from repro.generator.benchmark import (
+    BenchmarkConfig,
+    SyntheticBenchmark,
+    build_platform,
+    generate_benchmark,
+    generate_benchmark_suite,
+)
+from repro.generator.platform import NodeSpec, generate_node_specs
+from repro.generator.taskgraph import generate_task_graph
+
+__all__ = [
+    "BenchmarkConfig",
+    "NodeSpec",
+    "SyntheticBenchmark",
+    "build_platform",
+    "generate_benchmark",
+    "generate_benchmark_suite",
+    "generate_node_specs",
+    "generate_task_graph",
+]

@@ -1,0 +1,82 @@
+"""Synthetic platform (node library) generation.
+
+Section 7: "Initial processor costs (without hardening) have been generated
+between 1 and 6 cost units.  We have assumed that the hardware cost increases
+linearly with the hardening level."  Nodes also differ in speed so that the
+architecture-selection loop ("fastest architecture first") has something to
+choose between; the relative speed is drawn from a configurable range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.architecture import NodeType, linear_cost_node_type
+from repro.core.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Technology-independent description of one node type.
+
+    The spec carries only what is decided when the benchmark is generated —
+    base cost and relative speed.  The hardening ladder (number of levels,
+    cost growth, performance degradation and SER reduction) is applied later
+    by :func:`repro.generator.benchmark.build_platform`, because the paper
+    varies HPD and SER while keeping the applications and platforms fixed.
+    """
+
+    name: str
+    base_cost: float
+    speed_factor: float
+
+    def to_node_type(self, hardening_levels: int) -> NodeType:
+        """Materialize the node type with a linear cost ladder."""
+        return linear_cost_node_type(
+            self.name,
+            base_cost=self.base_cost,
+            levels=hardening_levels,
+            speed_factor=self.speed_factor,
+        )
+
+
+def generate_node_specs(
+    n_node_types: int,
+    rng: np.random.Generator,
+    base_cost_range: tuple[float, float] = (1.0, 6.0),
+    speed_factor_range: tuple[float, float] = (1.0, 1.4),
+    name_prefix: str = "N",
+) -> List[NodeSpec]:
+    """Generate the library of available node types for one benchmark.
+
+    Costs are drawn uniformly as integers in ``base_cost_range`` (the paper
+    uses 1-6 integer cost units); speed factors uniformly in
+    ``speed_factor_range`` with the fastest node normalised to 1.0 so that
+    process WCETs stated "on the fastest node" keep their meaning.
+    """
+    if n_node_types < 1:
+        raise ModelError(f"n_node_types must be >= 1, got {n_node_types}")
+    if base_cost_range[0] <= 0 or base_cost_range[1] < base_cost_range[0]:
+        raise ModelError(f"Invalid base_cost_range {base_cost_range}")
+    if speed_factor_range[0] <= 0 or speed_factor_range[1] < speed_factor_range[0]:
+        raise ModelError(f"Invalid speed_factor_range {speed_factor_range}")
+
+    costs = rng.integers(
+        int(round(base_cost_range[0])), int(round(base_cost_range[1])) + 1, size=n_node_types
+    )
+    factors = rng.uniform(speed_factor_range[0], speed_factor_range[1], size=n_node_types)
+    # Normalise so the fastest node has factor exactly at the lower bound of
+    # the range: WCETs are defined on the fastest node.
+    factors = factors / factors.min() * speed_factor_range[0]
+    specs = [
+        NodeSpec(
+            name=f"{name_prefix}{index + 1}",
+            base_cost=float(costs[index]),
+            speed_factor=float(factors[index]),
+        )
+        for index in range(n_node_types)
+    ]
+    return specs

@@ -1,0 +1,134 @@
+"""Random task-graph generation.
+
+The paper evaluates on synthetic applications of 20 and 40 processes produced
+by an in-house generator.  We use a layered (a.k.a. "level-by-level") DAG
+generator, the standard construction for scheduling benchmarks: processes are
+distributed over consecutive layers and edges only go from earlier to later
+layers, which guarantees acyclicity by construction while producing the
+fork/join parallelism real control applications exhibit.
+
+Every non-source process receives at least one predecessor from an earlier
+layer so the graph is connected forward; additional edges are added with a
+configurable probability to control the communication density.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.application import Message, Process, TaskGraph
+from repro.core.exceptions import ModelError
+
+
+def generate_task_graph(
+    name: str,
+    n_processes: int,
+    rng: np.random.Generator,
+    wcet_range: tuple[float, float] = (1.0, 20.0),
+    message_time_range: tuple[float, float] = (0.5, 2.0),
+    layers: Optional[int] = None,
+    extra_edge_probability: float = 0.2,
+    process_prefix: str = "P",
+) -> TaskGraph:
+    """Generate one layered random DAG.
+
+    Parameters
+    ----------
+    name:
+        Name of the produced :class:`TaskGraph`.
+    n_processes:
+        Number of processes; the paper uses 20 and 40.
+    rng:
+        NumPy random generator (the caller controls the seed).
+    wcet_range:
+        Uniform range of the nominal WCET of each process on the reference
+        (fastest, unhardened) node, in milliseconds (paper: 1-20 ms).
+    message_time_range:
+        Uniform range of worst-case message transmission times on the bus.
+    layers:
+        Number of layers; defaults to roughly ``sqrt(n_processes)`` which
+        yields graphs with both parallelism and dependency chains.
+    extra_edge_probability:
+        Probability of adding an extra edge between two processes of adjacent
+        layers beyond the connectivity-guaranteeing ones.
+    process_prefix:
+        Prefix used for process names (``P1``, ``P2``, ...).
+    """
+    if n_processes < 1:
+        raise ModelError(f"n_processes must be >= 1, got {n_processes}")
+    if wcet_range[0] <= 0 or wcet_range[1] < wcet_range[0]:
+        raise ModelError(f"Invalid wcet_range {wcet_range}")
+    if message_time_range[0] < 0 or message_time_range[1] < message_time_range[0]:
+        raise ModelError(f"Invalid message_time_range {message_time_range}")
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise ModelError(
+            f"extra_edge_probability must be in [0, 1], got {extra_edge_probability}"
+        )
+
+    n_layers = layers if layers is not None else max(1, int(round(np.sqrt(n_processes))))
+    n_layers = min(n_layers, n_processes)
+
+    graph = TaskGraph(name)
+    layer_membership = _assign_layers(n_processes, n_layers, rng)
+
+    names: List[str] = []
+    for index in range(n_processes):
+        wcet = float(rng.uniform(*wcet_range))
+        process_name = f"{process_prefix}{index + 1}"
+        graph.add_process(Process(process_name, nominal_wcet=wcet))
+        names.append(process_name)
+
+    message_counter = 0
+
+    def add_edge(source_index: int, destination_index: int) -> None:
+        nonlocal message_counter
+        source = names[source_index]
+        destination = names[destination_index]
+        if graph.message_between(source, destination) is not None:
+            return
+        message_counter += 1
+        transmission = float(rng.uniform(*message_time_range))
+        graph.add_message(
+            Message(
+                name=f"m{message_counter}",
+                source=source,
+                destination=destination,
+                transmission_time=transmission,
+            )
+        )
+
+    # Connectivity edges: every process beyond the first layer gets one
+    # predecessor picked uniformly from the previous layer.
+    for layer in range(1, n_layers):
+        previous_layer = [i for i in range(n_processes) if layer_membership[i] == layer - 1]
+        current_layer = [i for i in range(n_processes) if layer_membership[i] == layer]
+        for destination_index in current_layer:
+            source_index = int(rng.choice(previous_layer))
+            add_edge(source_index, destination_index)
+
+    # Density edges between adjacent layers.
+    for layer in range(1, n_layers):
+        previous_layer = [i for i in range(n_processes) if layer_membership[i] == layer - 1]
+        current_layer = [i for i in range(n_processes) if layer_membership[i] == layer]
+        for source_index in previous_layer:
+            for destination_index in current_layer:
+                if rng.random() < extra_edge_probability:
+                    add_edge(source_index, destination_index)
+
+    return graph
+
+
+def _assign_layers(
+    n_processes: int, n_layers: int, rng: np.random.Generator
+) -> List[int]:
+    """Assign each process to a layer; every layer gets at least one process."""
+    membership = [index % n_layers for index in range(n_processes)]
+    # Shuffle the tail beyond the guaranteed one-per-layer assignment so layer
+    # sizes vary between instances.
+    tail = membership[n_layers:]
+    if tail:
+        shuffled = rng.permutation(n_layers)
+        membership[n_layers:] = [int(shuffled[i % n_layers]) for i in range(len(tail))]
+    return sorted(membership)

@@ -1,0 +1,28 @@
+"""Serialization (JSON) and export (Graphviz DOT) helpers."""
+
+from repro.io.dot import schedule_to_dot, task_graph_to_dot
+from repro.io.serialization import (
+    application_from_dict,
+    application_to_dict,
+    design_result_to_dict,
+    load_problem,
+    node_types_from_dict,
+    node_types_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_problem,
+)
+
+__all__ = [
+    "application_from_dict",
+    "application_to_dict",
+    "design_result_to_dict",
+    "load_problem",
+    "node_types_from_dict",
+    "node_types_to_dict",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_problem",
+    "schedule_to_dot",
+    "task_graph_to_dot",
+]

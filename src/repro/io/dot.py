@@ -1,0 +1,75 @@
+"""Graphviz DOT export of task graphs and schedules.
+
+The exports are plain strings in DOT syntax so they can be rendered with any
+Graphviz installation (none is required by the library itself).  Task graphs
+render as directed graphs with WCET annotations; schedules render as a
+cluster per node listing the execution windows in start-time order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.application import TaskGraph
+from repro.scheduling.schedule import Schedule
+
+
+def task_graph_to_dot(
+    graph: TaskGraph,
+    execution_time: Optional[Callable[[str], float]] = None,
+) -> str:
+    """Render a task graph as a DOT digraph.
+
+    Parameters
+    ----------
+    execution_time:
+        Optional callable returning an execution time to annotate each
+        process with; falls back to the process ``nominal_wcet`` when present.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;", "  node [shape=ellipse];"]
+    for process in graph.processes:
+        if execution_time is not None:
+            label = f"{process.name}\\n{execution_time(process.name):.1f} ms"
+        elif process.nominal_wcet is not None:
+            label = f"{process.name}\\n{process.nominal_wcet:.1f} ms"
+        else:
+            label = process.name
+        lines.append(f'  "{process.name}" [label="{label}"];')
+    for message in graph.messages:
+        label = f"{message.name} ({message.transmission_time:.1f} ms)"
+        lines.append(
+            f'  "{message.source}" -> "{message.destination}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule, title: str = "schedule") -> str:
+    """Render a schedule as one DOT cluster per node plus a bus cluster."""
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;", "  node [shape=box];"]
+    for index, node in enumerate(schedule.nodes()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{node} (k={schedule.reexecutions.get(node, 0)})";')
+        previous = None
+        for entry in schedule.processes_on(node):
+            identifier = f"{node}_{entry.process}"
+            label = f"{entry.process}\\n[{entry.start:.1f}, {entry.finish:.1f}]"
+            lines.append(f'    "{identifier}" [label="{label}"];')
+            if previous is not None:
+                lines.append(f'    "{previous}" -> "{identifier}" [style=invis];')
+            previous = identifier
+        lines.append("  }")
+    if schedule.messages:
+        lines.append(f"  subgraph cluster_bus {{")
+        lines.append('    label="bus";')
+        previous = None
+        for entry in schedule.messages:
+            identifier = f"bus_{entry.message}"
+            label = f"{entry.message}\\n[{entry.start:.1f}, {entry.finish:.1f}]"
+            lines.append(f'    "{identifier}" [label="{label}"];')
+            if previous is not None:
+                lines.append(f'    "{previous}" -> "{identifier}" [style=invis];')
+            previous = identifier
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""JSON serialization of problem instances and results.
+
+A *problem instance* is everything the design strategies need: the
+application (task graphs, deadline, reliability goal, recovery overheads),
+the node-type library (h-versions with costs) and the execution profile
+(``t_ijh``/``p_ijh`` tables).  The functions below convert those objects to
+and from plain JSON-compatible dictionaries, so benchmarks can be stored on
+disk, shared and re-loaded bit-exactly (all times/probabilities are plain
+floats).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.application import Application, Message, Process, TaskGraph
+from repro.core.architecture import HVersion, NodeType
+from repro.core.evaluation import DesignResult
+from repro.core.exceptions import ModelError
+from repro.core.profile import ExecutionProfile
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Application
+# ----------------------------------------------------------------------
+def application_to_dict(application: Application) -> Dict:
+    """Convert an application to a JSON-compatible dictionary."""
+    graphs = []
+    for graph in application.graphs:
+        graphs.append(
+            {
+                "name": graph.name,
+                "processes": [
+                    {
+                        "name": process.name,
+                        "nominal_wcet": process.nominal_wcet,
+                        "criticality": process.criticality,
+                    }
+                    for process in graph.processes
+                ],
+                "messages": [
+                    {
+                        "name": message.name,
+                        "source": message.source,
+                        "destination": message.destination,
+                        "transmission_time": message.transmission_time,
+                    }
+                    for message in graph.messages
+                ],
+            }
+        )
+    return {
+        "name": application.name,
+        "deadline": application.deadline,
+        "period": application.period,
+        "reliability_goal": application.reliability_goal,
+        "time_unit": application.time_unit,
+        "recovery_overhead": application.recovery_overhead,
+        "recovery_overheads": {
+            process: application.recovery_overhead_of(process)
+            for process in application.process_names()
+        },
+        "graphs": graphs,
+    }
+
+
+def application_from_dict(data: Mapping) -> Application:
+    """Rebuild an application from :func:`application_to_dict` output."""
+    try:
+        application = Application(
+            name=data["name"],
+            deadline=data["deadline"],
+            reliability_goal=data["reliability_goal"],
+            recovery_overhead=data.get("recovery_overhead", 0.0),
+            period=data.get("period"),
+            time_unit=data.get("time_unit", 3_600_000.0),
+        )
+        for graph_data in data["graphs"]:
+            graph = application.new_graph(graph_data["name"])
+            for process_data in graph_data["processes"]:
+                graph.add_process(
+                    Process(
+                        name=process_data["name"],
+                        nominal_wcet=process_data.get("nominal_wcet"),
+                        criticality=process_data.get("criticality", 1.0),
+                    )
+                )
+            for message_data in graph_data["messages"]:
+                graph.add_message(
+                    Message(
+                        name=message_data["name"],
+                        source=message_data["source"],
+                        destination=message_data["destination"],
+                        transmission_time=message_data.get("transmission_time", 0.0),
+                    )
+                )
+        for process, overhead in data.get("recovery_overheads", {}).items():
+            application.set_recovery_overhead(process, overhead)
+    except KeyError as exc:
+        raise ModelError(f"Application dictionary is missing key {exc}") from exc
+    return application
+
+
+# ----------------------------------------------------------------------
+# Node types
+# ----------------------------------------------------------------------
+def node_types_to_dict(node_types: Sequence[NodeType]) -> List[Dict]:
+    """Convert a node-type library to a JSON-compatible list."""
+    return [
+        {
+            "name": node_type.name,
+            "speed_factor": node_type.speed_factor,
+            "h_versions": [
+                {"level": level, "cost": node_type.cost(level)}
+                for level in node_type.hardening_levels
+            ],
+        }
+        for node_type in node_types
+    ]
+
+
+def node_types_from_dict(data: Sequence[Mapping]) -> List[NodeType]:
+    """Rebuild the node-type library from :func:`node_types_to_dict` output."""
+    node_types = []
+    for entry in data:
+        try:
+            versions = [
+                HVersion(level=version["level"], cost=version["cost"])
+                for version in entry["h_versions"]
+            ]
+            node_types.append(
+                NodeType(
+                    entry["name"], versions, speed_factor=entry.get("speed_factor", 1.0)
+                )
+            )
+        except KeyError as exc:
+            raise ModelError(f"Node type dictionary is missing key {exc}") from exc
+    return node_types
+
+
+# ----------------------------------------------------------------------
+# Execution profile
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: ExecutionProfile) -> List[Dict]:
+    """Convert an execution profile to a JSON-compatible list of entries."""
+    entries = []
+    for (process, node_type, level), entry in sorted(profile.entries().items()):
+        entries.append(
+            {
+                "process": process,
+                "node_type": node_type,
+                "hardening": level,
+                "wcet": entry.wcet,
+                "failure_probability": entry.failure_probability,
+            }
+        )
+    return entries
+
+
+def profile_from_dict(data: Sequence[Mapping]) -> ExecutionProfile:
+    """Rebuild an execution profile from :func:`profile_to_dict` output."""
+    profile = ExecutionProfile()
+    for entry in data:
+        try:
+            profile.add_entry(
+                entry["process"],
+                entry["node_type"],
+                entry["hardening"],
+                entry["wcet"],
+                entry["failure_probability"],
+            )
+        except KeyError as exc:
+            raise ModelError(f"Profile dictionary is missing key {exc}") from exc
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def design_result_to_dict(result: DesignResult) -> Dict:
+    """Flatten a :class:`DesignResult` into a JSON-compatible dictionary."""
+    return {
+        "strategy": result.strategy,
+        "application": result.application,
+        "feasible": result.feasible,
+        "node_types": dict(result.node_types),
+        "hardening": dict(result.hardening),
+        "reexecutions": dict(result.reexecutions),
+        "mapping": result.mapping.as_dict() if result.mapping is not None else None,
+        "schedule_length": result.schedule_length,
+        "deadline": result.deadline,
+        "cost": result.cost,
+        "meets_reliability": result.meets_reliability,
+        "failure_reason": result.failure_reason,
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole problem instances on disk
+# ----------------------------------------------------------------------
+def save_problem(
+    path: PathLike,
+    application: Application,
+    node_types: Sequence[NodeType],
+    profile: ExecutionProfile,
+) -> None:
+    """Write a complete problem instance as a single JSON file."""
+    payload = {
+        "format": "repro-ftes-problem",
+        "version": 1,
+        "application": application_to_dict(application),
+        "node_types": node_types_to_dict(node_types),
+        "profile": profile_to_dict(profile),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_problem(
+    path: PathLike,
+) -> Tuple[Application, List[NodeType], ExecutionProfile]:
+    """Load a problem instance written by :func:`save_problem`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-ftes-problem":
+        raise ModelError(f"{path} is not a repro-ftes problem file")
+    application = application_from_dict(payload["application"])
+    node_types = node_types_from_dict(payload["node_types"])
+    profile = profile_from_dict(payload["profile"])
+    return application, node_types, profile

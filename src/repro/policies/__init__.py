@@ -1,0 +1,33 @@
+"""Additional software fault-tolerance policies (extensions).
+
+The DATE'09 paper uses re-execution as its software fault-tolerance mechanism
+and cites the authors' companion work on checkpointing and replication
+(reference [15], Pop et al., IEEE TVLSI 2009) as the broader policy space.
+This package implements those two additional policies so the library can be
+used to study the same trade-offs:
+
+* :mod:`repro.policies.checkpointing` — equidistant checkpointing with an
+  analytically optimal number of checkpoints,
+* :mod:`repro.policies.replication` — active (space) replication of a process
+  on several nodes.
+"""
+
+from repro.policies.checkpointing import (
+    CheckpointingPlan,
+    optimal_checkpoint_count,
+    worst_case_execution_with_checkpoints,
+)
+from repro.policies.replication import (
+    ReplicationPlan,
+    replication_failure_probability,
+    required_replicas,
+)
+
+__all__ = [
+    "CheckpointingPlan",
+    "ReplicationPlan",
+    "optimal_checkpoint_count",
+    "replication_failure_probability",
+    "required_replicas",
+    "worst_case_execution_with_checkpoints",
+]

@@ -1,0 +1,162 @@
+"""Equidistant checkpointing with rollback recovery.
+
+Re-execution (the policy used in the DATE'09 paper) restarts a failed process
+from the beginning.  Checkpointing splits the process into ``n`` equal
+segments and saves its state after each segment, so a fault only forces the
+re-execution of the segment in which it occurred.  Following the authors'
+companion work (Pop et al., TVLSI 2009), the worst-case execution time of a
+process of WCET ``t`` with ``n`` checkpoints tolerating ``k`` faults is
+
+``E(n) = t + n * chi  +  k * (t / n + mu + chi)``
+
+where ``chi`` is the checkpointing overhead (saving state) and ``mu`` the
+recovery overhead (restoring state and restarting).  The first two terms are
+the fault-free cost, the last one the recovery slack.  ``E(n)`` is convex in
+``n``; the real-valued minimiser is ``n0 = sqrt(k * t / chi)`` and the optimal
+integer count is one of ``floor(n0)``/``ceil(n0)``.
+
+Re-execution is the special case ``n = 1`` with ``chi = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor, sqrt
+
+from repro.core.exceptions import ModelError
+from repro.utils.validation import require_non_negative, require_positive
+
+
+def worst_case_execution_with_checkpoints(
+    wcet: float,
+    checkpoints: int,
+    faults: int,
+    checkpoint_overhead: float,
+    recovery_overhead: float,
+) -> float:
+    """Worst-case execution time of one process with ``checkpoints`` segments.
+
+    Parameters
+    ----------
+    wcet:
+        Fault-free worst-case execution time ``t`` of the whole process.
+    checkpoints:
+        Number of equal segments ``n`` (>= 1).  ``n = 1`` means a single
+        checkpoint at the end, i.e. plain re-execution of the whole process.
+    faults:
+        Number of faults ``k`` to tolerate in the worst case.
+    checkpoint_overhead:
+        Time ``chi`` to save the state at each checkpoint.
+    recovery_overhead:
+        Time ``mu`` to restore the state before re-executing a segment.
+    """
+    require_positive(wcet, "wcet")
+    if checkpoints < 1:
+        raise ModelError(f"checkpoints must be >= 1, got {checkpoints}")
+    if faults < 0:
+        raise ModelError(f"faults must be >= 0, got {faults}")
+    require_non_negative(checkpoint_overhead, "checkpoint_overhead")
+    require_non_negative(recovery_overhead, "recovery_overhead")
+    fault_free = wcet + checkpoints * checkpoint_overhead
+    recovery = faults * (wcet / checkpoints + recovery_overhead + checkpoint_overhead)
+    return fault_free + recovery
+
+
+def optimal_checkpoint_count(
+    wcet: float,
+    faults: int,
+    checkpoint_overhead: float,
+    recovery_overhead: float,
+    max_checkpoints: int = 64,
+) -> int:
+    """Number of checkpoints minimizing the worst-case execution time.
+
+    Evaluates the two integers around the analytic optimum
+    ``sqrt(k * t / chi)`` (clamped to ``[1, max_checkpoints]``) and returns
+    the better one; with no faults or no checkpoint overhead the extremes are
+    handled explicitly.
+    """
+    require_positive(wcet, "wcet")
+    if faults < 0:
+        raise ModelError(f"faults must be >= 0, got {faults}")
+    require_non_negative(checkpoint_overhead, "checkpoint_overhead")
+    require_non_negative(recovery_overhead, "recovery_overhead")
+    if max_checkpoints < 1:
+        raise ModelError(f"max_checkpoints must be >= 1, got {max_checkpoints}")
+    if faults == 0:
+        return 1
+    if checkpoint_overhead == 0.0:
+        # Checkpoints are free: the more segments the smaller the re-executed
+        # portion, so saturate the allowed maximum.
+        return max_checkpoints
+    continuous_optimum = sqrt(faults * wcet / checkpoint_overhead)
+    candidates = {
+        max(1, min(max_checkpoints, floor(continuous_optimum))),
+        max(1, min(max_checkpoints, ceil(continuous_optimum))),
+    }
+    return min(
+        candidates,
+        key=lambda count: (
+            worst_case_execution_with_checkpoints(
+                wcet, count, faults, checkpoint_overhead, recovery_overhead
+            ),
+            count,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointingPlan:
+    """Chosen checkpointing configuration for one process."""
+
+    process: str
+    wcet: float
+    faults: int
+    checkpoint_overhead: float
+    recovery_overhead: float
+    checkpoints: int
+
+    @classmethod
+    def optimal(
+        cls,
+        process: str,
+        wcet: float,
+        faults: int,
+        checkpoint_overhead: float,
+        recovery_overhead: float,
+        max_checkpoints: int = 64,
+    ) -> "CheckpointingPlan":
+        """Build the plan with the optimal number of checkpoints."""
+        count = optimal_checkpoint_count(
+            wcet, faults, checkpoint_overhead, recovery_overhead, max_checkpoints
+        )
+        return cls(
+            process=process,
+            wcet=wcet,
+            faults=faults,
+            checkpoint_overhead=checkpoint_overhead,
+            recovery_overhead=recovery_overhead,
+            checkpoints=count,
+        )
+
+    @property
+    def worst_case_execution(self) -> float:
+        """Worst-case execution time under this plan."""
+        return worst_case_execution_with_checkpoints(
+            self.wcet,
+            self.checkpoints,
+            self.faults,
+            self.checkpoint_overhead,
+            self.recovery_overhead,
+        )
+
+    @property
+    def reexecution_worst_case(self) -> float:
+        """Worst-case execution time of plain re-execution (the paper's policy)."""
+        return worst_case_execution_with_checkpoints(
+            self.wcet, 1, self.faults, 0.0, self.recovery_overhead
+        )
+
+    def saving_over_reexecution(self) -> float:
+        """Absolute worst-case time saved compared with plain re-execution."""
+        return max(0.0, self.reexecution_worst_case - self.worst_case_execution)

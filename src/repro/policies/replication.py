@@ -1,0 +1,92 @@
+"""Active replication of processes across computation nodes.
+
+Replication tolerates faults in *space*: ``r`` replicas of a process run on
+different nodes and the result of any fault-free replica is used.  Unlike
+re-execution it adds no recovery latency, but it occupies several nodes at
+once and all replicas must be scheduled.  The DATE'09 paper cites replication
+as the alternative software policy (via its references [5], [14], [20] and the
+authors' own TVLSI work); this module provides the corresponding analysis so
+the policy space can be compared on top of the same SFP machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Dict, Sequence
+
+from repro.core.exceptions import ModelError, ReliabilityError
+from repro.utils.rounding import DEFAULT_DECIMALS, ceil_probability
+from repro.utils.validation import require_in_unit_interval
+
+
+def replication_failure_probability(
+    replica_failure_probabilities: Sequence[float],
+    decimals: int = DEFAULT_DECIMALS,
+) -> float:
+    """Probability that *all* replicas of a process fail in one iteration.
+
+    The replicas run on different nodes, so their failures are independent
+    and the process result is lost only when every replica fails.  The value
+    is rounded up (pessimistically), consistent with the SFP analysis.
+    """
+    if not replica_failure_probabilities:
+        raise ModelError("At least one replica is required")
+    for probability in replica_failure_probabilities:
+        require_in_unit_interval(probability, "replica failure probability")
+    return ceil_probability(prod(replica_failure_probabilities), decimals)
+
+
+def required_replicas(
+    replica_failure_probability: float,
+    target_failure_probability: float,
+    max_replicas: int = 16,
+    decimals: int = DEFAULT_DECIMALS,
+) -> int:
+    """Smallest replica count whose joint failure probability meets a target.
+
+    Raises :class:`ReliabilityError` if the target cannot be met with
+    ``max_replicas`` identical replicas.
+    """
+    require_in_unit_interval(replica_failure_probability, "replica_failure_probability")
+    require_in_unit_interval(target_failure_probability, "target_failure_probability")
+    if max_replicas < 1:
+        raise ModelError(f"max_replicas must be >= 1, got {max_replicas}")
+    for count in range(1, max_replicas + 1):
+        joint = replication_failure_probability(
+            [replica_failure_probability] * count, decimals
+        )
+        if joint <= target_failure_probability:
+            return count
+    raise ReliabilityError(
+        f"Even {max_replicas} replicas with failure probability "
+        f"{replica_failure_probability} cannot reach the target "
+        f"{target_failure_probability}"
+    )
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """Assignment of the replicas of one process to nodes."""
+
+    process: str
+    replica_nodes: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.replica_nodes:
+            raise ModelError(f"ReplicationPlan for {self.process} has no replicas")
+        for node, probability in self.replica_nodes.items():
+            require_in_unit_interval(probability, f"failure probability on {node}")
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replica_nodes)
+
+    @property
+    def failure_probability(self) -> float:
+        """Probability that every replica fails in the same iteration."""
+        return replication_failure_probability(list(self.replica_nodes.values()))
+
+    def meets(self, target_failure_probability: float) -> bool:
+        require_in_unit_interval(target_failure_probability, "target_failure_probability")
+        return self.failure_probability <= target_failure_probability

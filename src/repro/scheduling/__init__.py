@@ -1,0 +1,14 @@
+"""Static cyclic scheduling with recovery slack for re-executions."""
+
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
+from repro.scheduling.slack import naive_recovery_slack, shared_recovery_slack
+
+__all__ = [
+    "ListScheduler",
+    "Schedule",
+    "ScheduledMessage",
+    "ScheduledProcess",
+    "naive_recovery_slack",
+    "shared_recovery_slack",
+]

@@ -1,0 +1,56 @@
+"""Scheduling priorities (partial critical path / upward rank).
+
+The list scheduler orders ready processes by the length of the longest path
+from the process to any sink of its task graph, measured with the execution
+times of the processes on their *mapped* nodes at the *current* hardening
+levels, plus worst-case message transmission times for dependencies that cross
+nodes.  This is the classic partial-critical-path priority used by the
+authors' earlier mapping/scheduling work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+
+
+def mapped_execution_time(
+    process: str,
+    architecture: Architecture,
+    mapping: ProcessMapping,
+    profile: ExecutionProfile,
+) -> float:
+    """WCET of ``process`` on its mapped node at the node's current hardening."""
+    node = architecture.node(mapping.node_of(process))
+    return profile.wcet_on_node(process, node)
+
+
+def critical_path_priorities(
+    application: Application,
+    architecture: Architecture,
+    mapping: ProcessMapping,
+    profile: ExecutionProfile,
+) -> Dict[str, float]:
+    """Partial-critical-path priority of every process of the application.
+
+    A larger value means the process lies on a longer remaining path and is
+    scheduled earlier among ready processes.
+    """
+    priorities: Dict[str, float] = {}
+    for graph in application.graphs:
+        for process_name in reversed(graph.topological_order()):
+            own_time = mapped_execution_time(process_name, architecture, mapping, profile)
+            own_node = mapping.node_of(process_name)
+            best_tail = 0.0
+            for successor in graph.successors(process_name):
+                tail = priorities[successor]
+                message = graph.message_between(process_name, successor)
+                if message is not None and mapping.node_of(successor) != own_node:
+                    tail += message.transmission_time
+                best_tail = max(best_tail, tail)
+            priorities[process_name] = own_time + best_tail
+    return priorities

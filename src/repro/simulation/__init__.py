@@ -1,0 +1,19 @@
+"""Monte-Carlo validation of fault-tolerant schedules.
+
+The SFP analysis (Appendix A) and the recovery-slack schedule model are
+analytic; this package provides the empirical counterpart: a fault-scenario
+simulator that replays a static schedule many times, injects transient faults
+with the per-process probabilities of the execution profile, applies the
+re-execution recovery exactly as the schedule reserves slack for it, and
+reports (a) how often more faults occur than the re-execution budgets can
+absorb and (b) whether the realized node completion times ever exceed the
+analytic worst case.
+"""
+
+from repro.simulation.fault_simulator import (
+    FaultScenarioSimulator,
+    IterationOutcome,
+    SimulationSummary,
+)
+
+__all__ = ["FaultScenarioSimulator", "IterationOutcome", "SimulationSummary"]

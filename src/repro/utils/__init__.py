@@ -1,0 +1,21 @@
+"""Small shared utilities (pessimistic rounding, validation helpers)."""
+
+from repro.utils.rounding import (
+    DEFAULT_DECIMALS,
+    ceil_probability,
+    floor_probability,
+)
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "DEFAULT_DECIMALS",
+    "ceil_probability",
+    "floor_probability",
+    "require_in_unit_interval",
+    "require_non_negative",
+    "require_positive",
+]

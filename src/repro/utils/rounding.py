@@ -1,0 +1,67 @@
+"""Pessimistic rounding helpers used by the SFP analysis.
+
+The paper (Appendix A.2, footnote 2) rounds intermediate probabilities with a
+fixed accuracy of ``1e-11``: probabilities of *success* (no faults, exactly
+``f`` faults recovered) are rounded **down**, while probabilities of *failure*
+are rounded **up**.  Rounding in that direction keeps the analysis pessimistic,
+which is required for a safety argument: the reported system failure
+probability is never smaller than the exact value.
+
+The helpers below operate on plain ``float`` values but go through
+:class:`decimal.Decimal` so that the direction of the rounding is exact and
+does not depend on binary floating point representation quirks.
+"""
+
+from __future__ import annotations
+
+from decimal import ROUND_CEILING, ROUND_FLOOR, Decimal
+
+#: Number of decimal digits used by the paper when rounding probabilities.
+DEFAULT_DECIMALS = 11
+
+
+def floor_probability(value: float, decimals: int = DEFAULT_DECIMALS) -> float:
+    """Round ``value`` towards zero-successes pessimism (downwards).
+
+    Used for probabilities of *good* outcomes (e.g. ``Pr(0; Nj^h)``), so that
+    the analysis never over-estimates how likely the system is to survive.
+
+    Parameters
+    ----------
+    value:
+        Probability in ``[0, 1]`` (values slightly outside due to float noise
+        are clamped).
+    decimals:
+        Number of decimal digits to keep; the paper uses 11.
+    """
+    clamped = _clamp_unit_interval(value)
+    quantum = Decimal(1).scaleb(-decimals)
+    rounded = Decimal(repr(clamped)).quantize(quantum, rounding=ROUND_FLOOR)
+    return float(rounded)
+
+
+def ceil_probability(value: float, decimals: int = DEFAULT_DECIMALS) -> float:
+    """Round ``value`` towards failure pessimism (upwards).
+
+    Used for probabilities of *bad* outcomes (e.g. ``Pr(f > kj; Nj^h)``), so
+    that the analysis never under-estimates the probability of a system
+    failure.
+    """
+    clamped = _clamp_unit_interval(value)
+    quantum = Decimal(1).scaleb(-decimals)
+    rounded = Decimal(repr(clamped)).quantize(quantum, rounding=ROUND_CEILING)
+    return float(min(rounded, Decimal(1)))
+
+
+def _clamp_unit_interval(value: float) -> float:
+    """Clamp a probability into ``[0, 1]``.
+
+    Floating point arithmetic on long products occasionally produces values
+    like ``-1e-18`` or ``1.0000000000000002``; these are artefacts, not real
+    probabilities, so they are clamped before rounding.
+    """
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return float(value)

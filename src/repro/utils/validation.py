@@ -1,0 +1,29 @@
+"""Argument validation helpers shared across the library.
+
+All validators raise :class:`ValueError` with a message that names the
+offending parameter, so that errors surfaced to library users are actionable
+without a stack-trace dive.
+"""
+
+from __future__ import annotations
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is strictly positive, raise otherwise."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is zero or positive, raise otherwise."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_unit_interval(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value

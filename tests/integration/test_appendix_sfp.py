@@ -1,0 +1,37 @@
+"""Integration test: the Appendix A.2 worked SFP computation, digit for digit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivational import appendix_sfp_example
+
+
+@pytest.fixture(scope="module")
+def example():
+    return appendix_sfp_example()
+
+
+class TestAppendixA2:
+    def test_probability_of_no_faults(self, example):
+        assert example["pr_no_fault_n1"] == pytest.approx(0.99997500015, abs=1e-12)
+        assert example["pr_no_fault_n2"] == pytest.approx(0.99997500015, abs=1e-12)
+
+    def test_probability_of_exceeding_zero_faults(self, example):
+        assert example["pr_exceeds_0_n1"] == pytest.approx(2.499985e-05, abs=1e-10)
+
+    def test_probability_of_exceeding_one_fault(self, example):
+        assert example["pr_exceeds_1_n1"] == pytest.approx(4.8e-10, abs=1e-12)
+        assert example["pr_exceeds_1_n2"] == pytest.approx(4.8e-10, abs=1e-12)
+
+    def test_system_failure_probabilities(self, example):
+        assert example["system_failure_k1"] == pytest.approx(9.6e-10, abs=1e-12)
+        assert example["system_failure_k0"] == pytest.approx(5.0e-05, rel=1e-3)
+
+    def test_reliability_without_reexecution_misses_goal(self, example):
+        assert example["reliability_k0"] == pytest.approx(0.6065, abs=1e-3)
+        assert example["meets_goal_k0"] == 0.0
+
+    def test_reliability_with_one_reexecution_meets_goal(self, example):
+        assert example["reliability_k1"] == pytest.approx(0.99999040005, abs=1e-8)
+        assert example["meets_goal_k1"] == 1.0

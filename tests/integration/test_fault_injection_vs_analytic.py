@@ -1,0 +1,79 @@
+"""Integration test: the Monte-Carlo fault-injection campaign agrees with the
+analytic fault model, and an injection-derived profile drives the same design
+flow as an analytic one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, Message, Process
+from repro.core.architecture import Architecture, Node, linear_cost_node_type
+from repro.core.mapping_model import ProcessMapping
+from repro.core.reexecution import ReExecutionOpt
+from repro.faults.hardening import SelectiveHardeningPlan
+from repro.faults.injection import FaultInjectionCampaign
+from repro.faults.processor import ProcessorModel
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+@pytest.fixture(scope="module")
+def processor() -> ProcessorModel:
+    # Error rate chosen so that a 10 ms execution fails with probability ~1e-3:
+    # large enough for a 20k-run campaign to estimate it accurately.
+    return ProcessorModel(
+        name="ecu",
+        flip_flops=20_000,
+        upset_rate_per_ff_cycle=5e-12,
+        clock_mhz=100.0,
+        architectural_derating=0.1,
+    )
+
+
+class TestCampaignAgreesWithAnalyticModel:
+    def test_estimates_within_confidence_interval(self, processor):
+        campaign = FaultInjectionCampaign(runs=20_000, seed=2024)
+        for wcet in (2.0, 10.0, 20.0):
+            estimate = campaign.inject(processor, wcet)
+            low, high = estimate.confidence_interval(z=4.0)
+            assert low <= processor.failure_probability(wcet) <= high
+
+    def test_hardening_ladder_preserves_ordering(self, processor):
+        plan = SelectiveHardeningPlan.linear(3, max_hardened_fraction=0.95)
+        campaign = FaultInjectionCampaign(runs=20_000, seed=7)
+        from repro.faults.hardening import apply_selective_hardening
+
+        estimates = [
+            campaign.inject(apply_selective_hardening(processor, plan, level), 10.0)
+            for level in (1, 2, 3)
+        ]
+        rates = [estimate.failure_probability for estimate in estimates]
+        assert rates[0] > rates[2]
+
+
+class TestInjectionDrivenDesignFlow:
+    def test_injected_profile_supports_reexecution_optimization(self, processor):
+        application = Application(
+            "injected", deadline=200.0, reliability_goal=1 - 1e-5, recovery_overhead=2.0
+        )
+        graph = application.new_graph("G")
+        graph.add_process(Process("sense", nominal_wcet=8.0))
+        graph.add_process(Process("act", nominal_wcet=12.0))
+        graph.add_message(Message("m", "sense", "act", transmission_time=1.0))
+
+        node_types = [linear_cost_node_type("ECU", 2.0, levels=3)]
+        plan = SelectiveHardeningPlan.linear(3, max_hardened_fraction=0.99, max_slowdown_percent=20.0)
+        campaign = FaultInjectionCampaign(runs=5_000, seed=99)
+        profile = campaign.profile_application(
+            application, node_types, {"ECU": processor}, plan
+        )
+
+        architecture = Architecture([Node("ECU", node_types[0], hardening=1)])
+        mapping = ProcessMapping({"sense": "ECU", "act": "ECU"})
+        decision = ReExecutionOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        schedule = ListScheduler().schedule(
+            application, architecture, mapping, profile, decision.reexecutions
+        )
+        schedule.validate()
+        assert schedule.length <= application.deadline

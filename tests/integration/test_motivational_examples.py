@@ -1,0 +1,85 @@
+"""Integration tests: the paper's motivational examples end to end.
+
+These tests assert the exact numbers printed in the paper for Fig. 2/3
+(hardware vs. software recovery) and Fig. 4 (architecture alternatives),
+exercising the SFP analysis, the re-execution optimizer and the scheduler
+together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivational import (
+    evaluate_fig3_alternatives,
+    evaluate_fig4_alternatives,
+)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {outcome.label: outcome for outcome in evaluate_fig3_alternatives()}
+
+    def test_reexecution_counts_match_paper(self, outcomes):
+        assert outcomes["N1^1"].reexecutions == {"N1": 6}
+        assert outcomes["N1^2"].reexecutions == {"N1": 2}
+        assert outcomes["N1^3"].reexecutions == {"N1": 1}
+
+    def test_worst_case_delays_match_paper(self, outcomes):
+        # Fig. 3a: 7 executions of 80 ms plus 6 recoveries of 20 ms = 680 ms.
+        assert outcomes["N1^1"].schedule_length == pytest.approx(680.0)
+        # Fig. 3b and 3c complete at exactly the same time (340 ms).
+        assert outcomes["N1^2"].schedule_length == pytest.approx(340.0)
+        assert outcomes["N1^3"].schedule_length == pytest.approx(340.0)
+
+    def test_schedulability_matches_paper(self, outcomes):
+        assert not outcomes["N1^1"].schedulable
+        assert outcomes["N1^2"].schedulable
+        assert outcomes["N1^3"].schedulable
+
+    def test_cost_doubles_with_hardening(self, outcomes):
+        assert outcomes["N1^2"].cost == 20.0
+        assert outcomes["N1^3"].cost == 40.0
+
+    def test_all_alternatives_meet_reliability(self, outcomes):
+        assert all(outcome.meets_reliability for outcome in outcomes.values())
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return evaluate_fig4_alternatives()
+
+    def test_costs_match_paper(self, outcomes):
+        assert outcomes["a"].cost == 72.0
+        assert outcomes["b"].cost == 32.0
+        assert outcomes["c"].cost == 40.0
+        assert outcomes["d"].cost == 64.0
+        assert outcomes["e"].cost == 80.0
+
+    def test_schedulability_matches_paper(self, outcomes):
+        assert outcomes["a"].schedulable
+        assert not outcomes["b"].schedulable
+        assert not outcomes["c"].schedulable
+        assert not outcomes["d"].schedulable
+        assert outcomes["e"].schedulable
+
+    def test_reexecution_counts_match_paper(self, outcomes):
+        assert outcomes["a"].reexecutions == {"N1": 1, "N2": 1}
+        assert outcomes["b"].reexecutions == {"N1": 2}
+        assert outcomes["c"].reexecutions == {"N2": 2}
+        # The most hardened monoprocessor versions need no re-executions.
+        assert outcomes["d"].reexecutions == {"N1": 0}
+        assert outcomes["e"].reexecutions == {"N2": 0}
+
+    def test_distributed_solution_cheaper_than_monoprocessor(self, outcomes):
+        # The paper's core argument: Fig. 4a (72) beats Fig. 4e (80).
+        assert outcomes["a"].cost < outcomes["e"].cost
+
+    def test_worst_case_lengths(self, outcomes):
+        assert outcomes["b"].schedule_length == pytest.approx(540.0)
+        assert outcomes["c"].schedule_length == pytest.approx(450.0)
+        assert outcomes["d"].schedule_length == pytest.approx(390.0)
+        assert outcomes["e"].schedule_length == pytest.approx(330.0)
+        assert outcomes["a"].schedule_length <= 360.0

@@ -1,0 +1,108 @@
+"""Integration tests: the Fig. 6 synthetic experiments reproduce the paper's shape.
+
+The absolute acceptance percentages depend on the (scaled-down) benchmark
+suite, but the qualitative relationships the paper draws from Fig. 6 must
+hold:
+
+* MIN is insensitive to the hardening performance degradation (it never
+  hardens anything);
+* MAX degrades as HPD grows and improves as the cost cap is relaxed;
+* OPT dominates both baselines everywhere;
+* at the lowest error rate OPT and MIN coincide (software-only suffices),
+  while at the highest error rate OPT clearly beats MIN.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault_model import SER_HIGH, SER_LOW, SER_MEDIUM
+from repro.experiments.synthetic import AcceptanceExperiment, ExperimentPreset
+
+
+@pytest.fixture(scope="module")
+def experiment() -> AcceptanceExperiment:
+    preset = ExperimentPreset(
+        n_applications=6,
+        process_counts=(16, 24),
+        n_node_types=3,
+        mapping_iterations=3,
+        mapping_stop_after=2,
+        mapping_candidates=2,
+    )
+    return AcceptanceExperiment(preset=preset)
+
+
+@pytest.fixture(scope="module")
+def hpd_sweep(experiment):
+    return experiment.hpd_sweep(SER_MEDIUM, (5.0, 100.0), max_cost=20.0)
+
+
+@pytest.fixture(scope="module")
+def ser_sweep(experiment):
+    return experiment.ser_sweep(25.0, (SER_LOW, SER_HIGH), max_cost=20.0)
+
+
+class TestFig6Shape:
+    def test_min_is_flat_over_hpd(self, hpd_sweep):
+        assert hpd_sweep[5.0]["MIN"] == pytest.approx(hpd_sweep[100.0]["MIN"])
+
+    def test_max_degrades_with_hpd(self, hpd_sweep):
+        assert hpd_sweep[100.0]["MAX"] <= hpd_sweep[5.0]["MAX"]
+
+    def test_opt_dominates_baselines(self, hpd_sweep, ser_sweep):
+        for values in list(hpd_sweep.values()) + list(ser_sweep.values()):
+            assert values["OPT"] >= values["MIN"]
+            assert values["OPT"] >= values["MAX"]
+
+    def test_min_degrades_with_error_rate(self, ser_sweep):
+        assert ser_sweep[SER_HIGH]["MIN"] <= ser_sweep[SER_LOW]["MIN"]
+
+    def test_opt_matches_min_at_low_error_rate(self, ser_sweep):
+        # Software fault tolerance alone suffices at SER = 1e-12.
+        assert ser_sweep[SER_LOW]["OPT"] >= ser_sweep[SER_LOW]["MIN"]
+
+    def test_opt_clearly_beats_min_at_high_error_rate(self, ser_sweep):
+        assert ser_sweep[SER_HIGH]["OPT"] > ser_sweep[SER_HIGH]["MIN"]
+
+
+class TestCostCapBehaviour:
+    def test_max_improves_with_larger_cost_cap(self, experiment):
+        setting = experiment.run_setting(SER_MEDIUM, 25.0)
+        tight = setting.acceptance_percent(15.0)["MAX"]
+        loose = setting.acceptance_percent(25.0)["MAX"]
+        assert loose >= tight
+
+    def test_acceptance_without_cap_is_upper_bound(self, experiment):
+        setting = experiment.run_setting(SER_MEDIUM, 25.0)
+        capped = setting.acceptance_percent(20.0)
+        uncapped = setting.acceptance_percent(None)
+        for strategy in ("MIN", "MAX", "OPT"):
+            assert uncapped[strategy] >= capped[strategy]
+
+    def test_average_cost_reporting(self, experiment):
+        setting = experiment.run_setting(SER_MEDIUM, 25.0)
+        assert setting.average_cost("OPT") > 0.0
+
+
+class TestExperimentMachinery:
+    def test_settings_are_cached(self, experiment):
+        first = experiment.run_setting(SER_MEDIUM, 25.0)
+        second = experiment.run_setting(SER_MEDIUM, 25.0)
+        assert first is second
+
+    def test_results_cover_all_benchmarks(self, experiment):
+        setting = experiment.run_setting(SER_MEDIUM, 25.0)
+        for strategy in ("MIN", "MAX", "OPT"):
+            assert len(setting.results[strategy]) == len(experiment.benchmarks)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            AcceptanceExperiment(
+                preset=ExperimentPreset.smoke(), strategies=("MIN", "BOGUS")
+            )
+
+    def test_presets_expose_paper_configuration(self):
+        paper = ExperimentPreset.paper()
+        assert paper.n_applications == 150
+        assert paper.process_counts == (20, 40)

@@ -1,0 +1,80 @@
+"""Property-based tests for the synthetic benchmark generator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator.benchmark import BenchmarkConfig, build_platform, generate_benchmark
+from repro.generator.taskgraph import generate_task_graph
+
+
+class TestTaskGraphProperties:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_graph_is_a_dag_of_requested_size(self, n_processes, seed):
+        graph = generate_task_graph("g", n_processes, np.random.default_rng(seed))
+        assert len(graph) == n_processes
+        order = graph.topological_order()
+        assert len(order) == n_processes
+        position = {name: index for index, name in enumerate(order)}
+        for message in graph.messages:
+            assert position[message.source] < position[message.destination]
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_every_non_source_has_a_predecessor(self, n_processes, seed):
+        graph = generate_task_graph("g", n_processes, np.random.default_rng(seed))
+        sources = set(graph.sources())
+        for name in graph.process_names:
+            if name not in sources:
+                assert graph.predecessors(name)
+
+
+class TestBenchmarkProperties:
+    seeds = st.integers(min_value=0, max_value=10_000)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_benchmark_is_always_a_valid_problem(self, seed):
+        benchmark = generate_benchmark(
+            seed, config=BenchmarkConfig(n_processes=12, n_node_types=3)
+        )
+        benchmark.application.validate()
+        assert benchmark.application.deadline > 0
+        assert 0.0 < benchmark.application.gamma < 1.0
+        assert len(benchmark.node_specs) == 3
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_platform_profiles_are_complete_and_monotone(self, seed):
+        benchmark = generate_benchmark(
+            seed, config=BenchmarkConfig(n_processes=8, n_node_types=2)
+        )
+        node_types, profile = build_platform(benchmark, 1e-11, 25.0)
+        profile.validate_against(benchmark.application, node_types)
+        for process in benchmark.application.process_names():
+            for node_type in node_types:
+                wcets = [
+                    profile.wcet(process, node_type.name, level)
+                    for level in node_type.hardening_levels
+                ]
+                failures = [
+                    profile.failure_probability(process, node_type.name, level)
+                    for level in node_type.hardening_levels
+                ]
+                assert wcets == sorted(wcets)
+                assert failures == sorted(failures, reverse=True)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_benchmark(self, seed):
+        config = BenchmarkConfig(n_processes=10, n_node_types=2)
+        first = generate_benchmark(seed, config=config)
+        second = generate_benchmark(seed, config=config)
+        assert first.application.deadline == second.application.deadline
+        assert first.application.gamma == second.application.gamma
+        assert [p.nominal_wcet for p in first.application.processes()] == [
+            p.nominal_wcet for p in second.application.processes()
+        ]

@@ -1,0 +1,64 @@
+"""Property-based tests for the checkpointing and replication policies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.checkpointing import (
+    optimal_checkpoint_count,
+    worst_case_execution_with_checkpoints,
+)
+from repro.policies.replication import replication_failure_probability
+
+
+class TestCheckpointingProperties:
+    wcets = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+    overheads = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+    faults = st.integers(min_value=0, max_value=6)
+
+    @given(wcets, faults, overheads, overheads)
+    def test_optimal_count_is_no_worse_than_any_small_count(
+        self, wcet, faults, chi, mu
+    ):
+        best = optimal_checkpoint_count(wcet, faults, chi, mu)
+        best_cost = worst_case_execution_with_checkpoints(wcet, best, faults, chi, mu)
+        for count in range(1, 33):
+            assert best_cost <= worst_case_execution_with_checkpoints(
+                wcet, count, faults, chi, mu
+            ) + 1e-6
+
+    @given(wcets, faults, overheads, overheads, st.integers(min_value=1, max_value=30))
+    def test_worst_case_grows_with_faults(self, wcet, faults, chi, mu, checkpoints):
+        current = worst_case_execution_with_checkpoints(wcet, checkpoints, faults, chi, mu)
+        more_faults = worst_case_execution_with_checkpoints(
+            wcet, checkpoints, faults + 1, chi, mu
+        )
+        assert more_faults >= current
+
+    @given(wcets, faults, overheads, overheads)
+    def test_worst_case_at_least_fault_free_time(self, wcet, faults, chi, mu):
+        count = optimal_checkpoint_count(wcet, faults, chi, mu)
+        assert worst_case_execution_with_checkpoints(wcet, count, faults, chi, mu) >= wcet
+
+
+class TestReplicationProperties:
+    replica_probabilities = st.lists(
+        st.floats(min_value=1e-9, max_value=0.5, allow_nan=False), min_size=1, max_size=6
+    )
+
+    @given(replica_probabilities)
+    def test_result_is_a_probability(self, values):
+        assert 0.0 <= replication_failure_probability(values) <= 1.0
+
+    @given(replica_probabilities, st.floats(min_value=1e-9, max_value=0.5))
+    def test_adding_a_replica_never_hurts(self, values, extra):
+        assert replication_failure_probability(values + [extra]) <= (
+            replication_failure_probability(values) + 1e-12
+        )
+
+    @given(replica_probabilities)
+    def test_joint_failure_no_better_than_best_replica(self, values):
+        # Pessimistic rounding may lift the product slightly, but never above
+        # the most reliable replica's own failure probability (plus quantum).
+        assert replication_failure_probability(values) <= min(values) + 1e-11

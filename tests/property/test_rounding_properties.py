@@ -1,0 +1,43 @@
+"""Property-based tests for the pessimistic rounding helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rounding import ceil_probability, floor_probability
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+decimals = st.integers(min_value=1, max_value=12)
+
+
+class TestRoundingProperties:
+    @given(unit_floats, decimals)
+    def test_floor_at_most_value(self, value, digits):
+        assert floor_probability(value, digits) <= value + 1e-15
+
+    @given(unit_floats, decimals)
+    def test_ceil_at_least_value(self, value, digits):
+        assert ceil_probability(value, digits) >= value - 1e-15
+
+    @given(unit_floats, decimals)
+    def test_results_stay_in_unit_interval(self, value, digits):
+        assert 0.0 <= floor_probability(value, digits) <= 1.0
+        assert 0.0 <= ceil_probability(value, digits) <= 1.0
+
+    @given(unit_floats, decimals)
+    def test_floor_not_above_ceil(self, value, digits):
+        assert floor_probability(value, digits) <= ceil_probability(value, digits)
+
+    @given(unit_floats, decimals)
+    def test_rounding_is_idempotent(self, value, digits):
+        floored = floor_probability(value, digits)
+        ceiled = ceil_probability(value, digits)
+        assert floor_probability(floored, digits) == floored
+        assert ceil_probability(ceiled, digits) == ceiled
+
+    @given(unit_floats, unit_floats, decimals)
+    def test_rounding_preserves_order(self, first, second, digits):
+        low, high = min(first, second), max(first, second)
+        assert floor_probability(low, digits) <= floor_probability(high, digits)
+        assert ceil_probability(low, digits) <= ceil_probability(high, digits)

@@ -1,0 +1,77 @@
+"""Unit tests for the derived reliability and cost analyses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.cost import (
+    architecture_cost_breakdown,
+    relative_cost_saving,
+)
+from repro.analysis.reliability import (
+    failures_in_time,
+    mean_time_to_failure_hours,
+    mission_reliability,
+    probability_of_failure_per_hour,
+)
+from repro.core.architecture import Architecture, Node
+
+
+class TestReliabilityConversions:
+    def test_per_hour_failure_matches_appendix(self):
+        # Appendix A.2, k=1: 9.6e-10 per 360 ms iteration.
+        per_hour = probability_of_failure_per_hour(9.6e-10, 360.0)
+        assert per_hour == pytest.approx(1 - 0.99999040005, rel=1e-4)
+
+    def test_zero_failure(self):
+        assert probability_of_failure_per_hour(0.0, 100.0) == 0.0
+        assert math.isinf(mean_time_to_failure_hours(0.0, 100.0))
+        assert failures_in_time(0.0, 100.0) == 0.0
+
+    def test_mission_reliability_decreases_with_duration(self):
+        short = mission_reliability(1e-9, 100.0, mission_hours=1.0)
+        long = mission_reliability(1e-9, 100.0, mission_hours=1000.0)
+        assert long < short <= 1.0
+
+    def test_mttf_and_fit_are_consistent(self):
+        mttf = mean_time_to_failure_hours(1e-8, 100.0)
+        fit = failures_in_time(1e-8, 100.0)
+        assert fit == pytest.approx(1e9 / mttf)
+
+    def test_mttf_decreases_with_failure_probability(self):
+        assert mean_time_to_failure_hours(1e-6, 100.0) < mean_time_to_failure_hours(
+            1e-9, 100.0
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            probability_of_failure_per_hour(1.5, 100.0)
+        with pytest.raises(ValueError):
+            probability_of_failure_per_hour(0.5, 0.0)
+        with pytest.raises(ValueError):
+            mission_reliability(0.5, 100.0, 0.0)
+
+
+class TestCostBreakdown:
+    def test_breakdown_of_fig4a_architecture(self, fig4a_architecture):
+        breakdown = architecture_cost_breakdown(fig4a_architecture)
+        assert breakdown.total == pytest.approx(72.0)
+        assert breakdown.baseline == pytest.approx(36.0)
+        assert breakdown.hardening_overhead == pytest.approx(36.0)
+        assert breakdown.overhead_fraction() == pytest.approx(0.5)
+        assert breakdown.per_node == {"N1": 32.0, "N2": 40.0}
+
+    def test_unhardened_architecture_has_no_overhead(self, fig1_nodes):
+        n1, n2 = fig1_nodes
+        architecture = Architecture([Node("N1", n1), Node("N2", n2)])
+        breakdown = architecture_cost_breakdown(architecture)
+        assert breakdown.hardening_overhead == 0.0
+        assert breakdown.overhead_fraction() == 0.0
+
+    def test_relative_cost_saving(self):
+        assert relative_cost_saving(17.0, 50.0) == pytest.approx(0.66)
+        assert relative_cost_saving(50.0, 50.0) == 0.0
+        assert relative_cost_saving(60.0, 50.0) == 0.0
+        assert relative_cost_saving(10.0, 0.0) == 0.0

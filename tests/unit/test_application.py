@@ -1,0 +1,248 @@
+"""Unit tests for the application model (processes, messages, task graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import (
+    ONE_HOUR_MS,
+    Application,
+    Message,
+    Process,
+    TaskGraph,
+    build_chain_application,
+)
+from repro.core.exceptions import ModelError
+
+
+class TestProcess:
+    def test_basic_construction(self):
+        process = Process("P1", nominal_wcet=12.5)
+        assert process.name == "P1"
+        assert process.nominal_wcet == 12.5
+        assert process.criticality == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Process("")
+
+    def test_non_positive_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            Process("P1", nominal_wcet=0.0)
+
+    def test_non_positive_criticality_rejected(self):
+        with pytest.raises(ValueError):
+            Process("P1", criticality=0.0)
+
+    def test_is_frozen(self):
+        process = Process("P1")
+        with pytest.raises(AttributeError):
+            process.name = "P2"  # type: ignore[misc]
+
+
+class TestMessage:
+    def test_basic_construction(self):
+        message = Message("m1", "P1", "P2", transmission_time=3.0)
+        assert message.source == "P1"
+        assert message.destination == "P2"
+        assert message.transmission_time == 3.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Message("m1", "P1", "P1")
+
+    def test_negative_transmission_time_rejected(self):
+        with pytest.raises(ValueError):
+            Message("m1", "P1", "P2", transmission_time=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Message("", "P1", "P2")
+
+
+class TestTaskGraph:
+    def _chain(self) -> TaskGraph:
+        graph = TaskGraph("G")
+        graph.add_process(Process("A", nominal_wcet=5.0))
+        graph.add_process(Process("B", nominal_wcet=10.0))
+        graph.add_process(Process("C", nominal_wcet=15.0))
+        graph.add_message(Message("m1", "A", "B", transmission_time=1.0))
+        graph.add_message(Message("m2", "B", "C", transmission_time=2.0))
+        return graph
+
+    def test_duplicate_process_rejected(self):
+        graph = TaskGraph("G")
+        graph.add_process(Process("A"))
+        with pytest.raises(ModelError):
+            graph.add_process(Process("A"))
+
+    def test_message_with_unknown_endpoint_rejected(self):
+        graph = TaskGraph("G")
+        graph.add_process(Process("A"))
+        with pytest.raises(ModelError):
+            graph.add_message(Message("m1", "A", "missing"))
+
+    def test_duplicate_edge_rejected(self):
+        graph = self._chain()
+        with pytest.raises(ModelError):
+            graph.add_message(Message("dup", "A", "B"))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        graph = self._chain()
+        with pytest.raises(ModelError):
+            graph.add_message(Message("back", "C", "A"))
+        # The rejected edge must not linger in the graph.
+        assert graph.message_between("C", "A") is None
+        assert len(graph.messages) == 2
+
+    def test_sources_and_sinks(self):
+        graph = self._chain()
+        assert graph.sources() == ["A"]
+        assert graph.sinks() == ["C"]
+
+    def test_topological_order_respects_dependencies(self):
+        graph = self._chain()
+        order = graph.topological_order()
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_predecessors_and_successors(self):
+        graph = self._chain()
+        assert graph.predecessors("B") == ["A"]
+        assert graph.successors("B") == ["C"]
+
+    def test_incoming_and_outgoing_messages(self):
+        graph = self._chain()
+        assert [m.name for m in graph.incoming_messages("C")] == ["m2"]
+        assert [m.name for m in graph.outgoing_messages("A")] == ["m1"]
+
+    def test_critical_path_with_messages(self):
+        graph = self._chain()
+        length = graph.critical_path_length(
+            lambda name: graph.process(name).nominal_wcet, include_messages=True
+        )
+        assert length == pytest.approx(5 + 1 + 10 + 2 + 15)
+
+    def test_critical_path_without_messages(self):
+        graph = self._chain()
+        length = graph.critical_path_length(
+            lambda name: graph.process(name).nominal_wcet, include_messages=False
+        )
+        assert length == pytest.approx(30.0)
+
+    def test_downward_rank_of_source_equals_critical_path(self):
+        graph = self._chain()
+        ranks = graph.downward_rank(
+            lambda name: graph.process(name).nominal_wcet, include_messages=True
+        )
+        assert ranks["A"] == pytest.approx(33.0)
+        assert ranks["C"] == pytest.approx(15.0)
+
+    def test_unknown_process_lookup_raises(self):
+        graph = self._chain()
+        with pytest.raises(ModelError):
+            graph.process("missing")
+
+    def test_len_and_contains(self):
+        graph = self._chain()
+        assert len(graph) == 3
+        assert "A" in graph
+        assert "missing" not in graph
+
+    def test_to_networkx_returns_copy(self):
+        graph = self._chain()
+        nx_graph = graph.to_networkx()
+        nx_graph.remove_node("A")
+        assert "A" in graph
+
+
+class TestApplication:
+    def test_gamma_and_iterations(self):
+        application = Application("app", deadline=100.0, reliability_goal=1 - 1e-5)
+        assert application.gamma == pytest.approx(1e-5)
+        assert application.iterations_per_time_unit == pytest.approx(ONE_HOUR_MS / 100.0)
+
+    def test_period_defaults_to_deadline(self):
+        application = Application("app", deadline=250.0, reliability_goal=0.999)
+        assert application.period == 250.0
+
+    def test_duplicate_graph_rejected(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        application.new_graph("G")
+        with pytest.raises(ModelError):
+            application.new_graph("G")
+
+    def test_duplicate_process_across_graphs_rejected(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        first = application.new_graph("G1")
+        first.add_process(Process("P1"))
+        second = TaskGraph("G2")
+        second.add_process(Process("P1"))
+        with pytest.raises(ModelError):
+            application.add_graph(second)
+
+    def test_recovery_overhead_override(self):
+        application = Application(
+            "app", deadline=10.0, reliability_goal=0.99, recovery_overhead=2.0
+        )
+        graph = application.new_graph("G")
+        graph.add_process(Process("P1"))
+        graph.add_process(Process("P2"))
+        application.set_recovery_overhead("P1", 0.5)
+        assert application.recovery_overhead_of("P1") == 0.5
+        assert application.recovery_overhead_of("P2") == 2.0
+
+    def test_recovery_overhead_for_unknown_process_rejected(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        application.new_graph("G").add_process(Process("P1"))
+        with pytest.raises(ModelError):
+            application.set_recovery_overhead("missing", 1.0)
+
+    def test_process_lookup_across_graphs(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        application.new_graph("G1").add_process(Process("P1"))
+        application.new_graph("G2").add_process(Process("P2"))
+        assert application.process("P2").name == "P2"
+        assert application.graph_of("P1").name == "G1"
+        assert application.number_of_processes() == 2
+
+    def test_unknown_process_raises(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        application.new_graph("G")
+        with pytest.raises(ModelError):
+            application.process("nope")
+
+    def test_validate_rejects_empty_application(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        with pytest.raises(ModelError):
+            application.validate()
+
+    def test_validate_accepts_fig1(self, fig1_app):
+        fig1_app.validate()
+
+    def test_invalid_reliability_goal_rejected(self):
+        with pytest.raises(ValueError):
+            Application("app", deadline=10.0, reliability_goal=1.5)
+
+    def test_messages_listing(self, fig1_app):
+        names = {message.name for message in fig1_app.messages()}
+        assert names == {"m1", "m2", "m3", "m4"}
+
+
+class TestBuildChainApplication:
+    def test_chain_structure(self):
+        application = build_chain_application(
+            "chain", [5.0, 6.0, 7.0], deadline=100.0, reliability_goal=0.999,
+            recovery_overhead=1.0, message_time=0.5,
+        )
+        graph = application.graphs[0]
+        assert len(graph) == 3
+        assert graph.sources() == ["P1"]
+        assert graph.sinks() == ["P3"]
+        assert graph.message_between("P1", "P2") is not None
+        assert graph.message_between("P2", "P3") is not None
+
+    def test_single_process_chain_has_no_messages(self):
+        application = build_chain_application(
+            "chain", [5.0], deadline=10.0, reliability_goal=0.99, recovery_overhead=0.0
+        )
+        assert application.messages() == []

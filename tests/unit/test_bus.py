@@ -1,0 +1,117 @@
+"""Unit tests for the shared-bus communication models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.bus import SimpleBus, TDMABus
+from repro.core.exceptions import ModelError, SchedulingError
+
+
+class TestSimpleBus:
+    def test_first_message_starts_at_earliest(self):
+        bus = SimpleBus()
+        reservation = bus.reserve("m1", "N1", earliest_start=5.0, duration=3.0)
+        assert reservation.start == 5.0
+        assert reservation.finish == 8.0
+
+    def test_messages_are_serialized(self):
+        bus = SimpleBus()
+        bus.reserve("m1", "N1", earliest_start=0.0, duration=10.0)
+        second = bus.reserve("m2", "N2", earliest_start=2.0, duration=5.0)
+        assert second.start == 10.0
+
+    def test_message_can_fill_gap_before_existing_reservation(self):
+        bus = SimpleBus()
+        bus.reserve("m1", "N1", earliest_start=20.0, duration=10.0)
+        second = bus.reserve("m2", "N2", earliest_start=0.0, duration=5.0)
+        assert second.start == 0.0
+        assert second.finish == 5.0
+
+    def test_message_too_large_for_gap_is_pushed_after(self):
+        bus = SimpleBus()
+        bus.reserve("m1", "N1", earliest_start=4.0, duration=10.0)
+        second = bus.reserve("m2", "N2", earliest_start=0.0, duration=5.0)
+        assert second.start == 14.0
+
+    def test_zero_duration_message(self):
+        bus = SimpleBus()
+        reservation = bus.reserve("m1", "N1", earliest_start=1.0, duration=0.0)
+        assert reservation.start == reservation.finish == 1.0
+
+    def test_reset_clears_reservations(self):
+        bus = SimpleBus()
+        bus.reserve("m1", "N1", 0.0, 10.0)
+        bus.reset()
+        assert bus.reservations == []
+        reservation = bus.reserve("m2", "N1", 0.0, 5.0)
+        assert reservation.start == 0.0
+
+    def test_negative_arguments_rejected(self):
+        bus = SimpleBus()
+        with pytest.raises(ValueError):
+            bus.reserve("m1", "N1", -1.0, 5.0)
+        with pytest.raises(ValueError):
+            bus.reserve("m1", "N1", 0.0, -5.0)
+
+    def test_reservations_sorted_by_start(self):
+        bus = SimpleBus()
+        bus.reserve("m1", "N1", 50.0, 5.0)
+        bus.reserve("m2", "N1", 0.0, 5.0)
+        starts = [reservation.start for reservation in bus.reservations]
+        assert starts == sorted(starts)
+
+
+class TestTDMABus:
+    def test_slot_order_validation(self):
+        with pytest.raises(ModelError):
+            TDMABus([], slot_length=10.0)
+        with pytest.raises(ModelError):
+            TDMABus(["N1", "N1"], slot_length=10.0)
+        with pytest.raises(ValueError):
+            TDMABus(["N1"], slot_length=0.0)
+
+    def test_round_length(self):
+        bus = TDMABus(["N1", "N2", "N3"], slot_length=10.0)
+        assert bus.round_length == 30.0
+        assert bus.slot_index("N2") == 1
+
+    def test_unknown_sender_rejected(self):
+        bus = TDMABus(["N1"], slot_length=10.0)
+        with pytest.raises(SchedulingError):
+            bus.reserve("m1", "N9", 0.0, 5.0)
+
+    def test_message_waits_for_its_senders_slot(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        # N2 owns [10, 20), [30, 40), ...; data ready at t=0 must wait.
+        reservation = bus.reserve("m1", "N2", earliest_start=0.0, duration=5.0)
+        assert reservation.start == 10.0
+
+    def test_message_in_own_slot_starts_immediately(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        reservation = bus.reserve("m1", "N1", earliest_start=2.0, duration=5.0)
+        assert reservation.start == 2.0
+
+    def test_message_that_does_not_fit_slot_rejected(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        with pytest.raises(SchedulingError):
+            bus.reserve("m1", "N1", 0.0, 11.0)
+
+    def test_message_missing_slot_end_moves_to_next_round(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        # Ready at t=7, needs 5 ms, N1's slot ends at 10 -> next N1 slot at 20.
+        reservation = bus.reserve("m1", "N1", earliest_start=7.0, duration=5.0)
+        assert reservation.start == 20.0
+
+    def test_two_messages_share_one_slot_without_overlap(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        first = bus.reserve("m1", "N1", 0.0, 4.0)
+        second = bus.reserve("m2", "N1", 0.0, 4.0)
+        assert first.finish <= second.start
+        assert second.finish <= 10.0
+
+    def test_conflicting_message_pushed_to_later_round(self):
+        bus = TDMABus(["N1", "N2"], slot_length=10.0)
+        bus.reserve("m1", "N1", 0.0, 8.0)
+        second = bus.reserve("m2", "N1", 0.0, 8.0)
+        assert second.start == 20.0

@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["motivational"]).command == "motivational"
+        assert parser.parse_args(["synthetic", "--figure", "6c"]).figure == "6c"
+        assert parser.parse_args(["cruise-control"]).command == "cruise-control"
+
+    def test_unknown_figure_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["synthetic", "--figure", "7"])
+
+
+class TestMotivationalCommand:
+    def test_prints_fig3_and_fig4_tables(self, capsys):
+        exit_code = main(["motivational"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 3" in captured
+        assert "Fig. 4" in captured
+        assert "Appendix A.2" in captured
+        assert "680.0" in captured  # the unschedulable N1^1 alternative
+
+    def test_writes_json_output(self, tmp_path, capsys):
+        output = tmp_path / "motivational.json"
+        exit_code = main(["motivational", "--output", str(output)])
+        assert exit_code == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert "fig3" in payload and "fig4" in payload and "appendix" in payload
+
+
+class TestSyntheticCommand:
+    def test_smoke_preset_runs_figure_6a(self, capsys):
+        exit_code = main(["synthetic", "--figure", "6a", "--preset", "smoke"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 6a" in captured
+        assert "MIN" in captured and "OPT" in captured
+
+
+class TestCruiseControlCommand:
+    def test_prints_study_table(self, capsys):
+        exit_code = main(["cruise-control"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Cruise controller" in captured
+        assert "OPT cost saving over MAX" in captured

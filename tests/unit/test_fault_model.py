@@ -1,0 +1,183 @@
+"""Unit tests for the technology / hardening fault models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, Process
+from repro.core.architecture import linear_cost_node_type
+from repro.core.exceptions import ModelError
+from repro.core.fault_model import (
+    SER_HIGH,
+    SER_LOW,
+    SER_MEDIUM,
+    FaultModel,
+    HardeningModel,
+    TechnologyModel,
+    failure_probability_from_ser,
+)
+
+
+class TestTechnologyModel:
+    def test_cycles_for(self):
+        technology = TechnologyModel(ser_per_cycle=1e-10, clock_mhz=100.0)
+        assert technology.cycles_for(10.0) == pytest.approx(1e6)
+
+    def test_invalid_ser_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyModel(ser_per_cycle=1.5)
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyModel(ser_per_cycle=1e-10, clock_mhz=0.0)
+
+    def test_paper_ser_constants_ordering(self):
+        assert SER_LOW < SER_MEDIUM < SER_HIGH
+
+
+class TestHardeningModel:
+    def test_ser_scale_decreases_with_level(self):
+        model = HardeningModel(levels=5, ser_reduction_per_level=100.0)
+        scales = [model.ser_scale(level) for level in range(1, 6)]
+        assert scales[0] == 1.0
+        assert scales == sorted(scales, reverse=True)
+        assert scales[4] == pytest.approx(1e-8)
+
+    def test_wcet_increase_follows_paper_hpd_100(self):
+        # HPD = 100 %: increases of 1, 25, 50, 75 and 100 % per level.
+        model = HardeningModel(levels=5, performance_degradation=100.0)
+        increases = [model.wcet_increase_percent(level) for level in range(1, 6)]
+        assert increases == pytest.approx([1.0, 25.75, 50.5, 75.25, 100.0], rel=0.05)
+
+    def test_wcet_increase_follows_paper_hpd_5(self):
+        # HPD = 5 %: increases of roughly 1, 2, 3, 4 and 5 % per level.
+        model = HardeningModel(levels=5, performance_degradation=5.0)
+        increases = [model.wcet_increase_percent(level) for level in range(1, 6)]
+        assert increases == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0], rel=1e-9)
+
+    def test_zero_hpd_means_no_slowdown(self):
+        model = HardeningModel(levels=3, performance_degradation=0.0)
+        assert model.wcet_scale(3) == 1.0
+
+    def test_wcet_scale_monotone_in_level(self):
+        model = HardeningModel(levels=5, performance_degradation=25.0)
+        scales = [model.wcet_scale(level) for level in range(1, 6)]
+        assert scales == sorted(scales)
+
+    def test_invalid_level_rejected(self):
+        model = HardeningModel(levels=3)
+        with pytest.raises(ModelError):
+            model.ser_scale(4)
+        with pytest.raises(ModelError):
+            model.wcet_scale(0)
+
+    def test_reduction_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            HardeningModel(ser_reduction_per_level=0.5)
+
+    def test_single_level_model(self):
+        model = HardeningModel(levels=1, performance_degradation=10.0)
+        assert model.hardening_levels() == [1]
+        assert model.wcet_increase_percent(1) == 10.0
+
+
+class TestFailureProbabilityFromSer:
+    def test_zero_rate_gives_zero(self):
+        assert failure_probability_from_ser(0.0, 1e9) == 0.0
+
+    def test_small_rate_approximates_linear(self):
+        probability = failure_probability_from_ser(1e-10, 1e6)
+        assert probability == pytest.approx(1e-4, rel=1e-3)
+
+    def test_large_cycles_saturate_at_one(self):
+        assert failure_probability_from_ser(0.5, 1e6) == pytest.approx(1.0)
+
+    def test_monotone_in_cycles(self):
+        low = failure_probability_from_ser(1e-9, 1e5)
+        high = failure_probability_from_ser(1e-9, 1e7)
+        assert high > low
+
+
+class TestFaultModel:
+    def _application(self) -> Application:
+        application = Application("app", deadline=100.0, reliability_goal=0.99999)
+        graph = application.new_graph("G")
+        graph.add_process(Process("P1", nominal_wcet=10.0))
+        graph.add_process(Process("P2", nominal_wcet=20.0))
+        return application
+
+    def test_build_profile_covers_all_entries(self):
+        application = self._application()
+        node_types = [
+            linear_cost_node_type("N1", 2.0, levels=3),
+            linear_cost_node_type("N2", 3.0, levels=3, speed_factor=1.5),
+        ]
+        model = FaultModel(
+            TechnologyModel(ser_per_cycle=1e-10, clock_mhz=100.0),
+            HardeningModel(levels=3, performance_degradation=50.0),
+        )
+        profile = model.build_profile(application, node_types)
+        assert len(profile) == 2 * 2 * 3
+        profile.validate_against(application, node_types)
+
+    def test_wcet_scales_with_speed_factor_and_level(self):
+        model = FaultModel(
+            TechnologyModel(ser_per_cycle=1e-10),
+            HardeningModel(levels=3, performance_degradation=100.0),
+        )
+        base = model.wcet(10.0, 1.0, 1)
+        slower_node = model.wcet(10.0, 1.5, 1)
+        hardened = model.wcet(10.0, 1.0, 3)
+        assert slower_node == pytest.approx(base * 1.5)
+        assert hardened > base
+
+    def test_failure_probability_decreases_with_hardening(self):
+        model = FaultModel(
+            TechnologyModel(ser_per_cycle=1e-10, clock_mhz=1000.0),
+            HardeningModel(levels=5, ser_reduction_per_level=100.0),
+        )
+        probabilities = [
+            model.failure_probability("N1", 10.0, level) for level in range(1, 6)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[0] / probabilities[1] == pytest.approx(100.0, rel=1e-3)
+
+    def test_per_node_type_technology_mapping(self):
+        model = FaultModel(
+            {
+                "N1": TechnologyModel(ser_per_cycle=1e-10),
+                "N2": TechnologyModel(ser_per_cycle=1e-12),
+            },
+            HardeningModel(levels=2),
+        )
+        p1 = model.failure_probability("N1", 10.0, 1)
+        p2 = model.failure_probability("N2", 10.0, 1)
+        assert p1 > p2
+        with pytest.raises(ModelError):
+            model.failure_probability("N3", 10.0, 1)
+
+    def test_empty_technology_mapping_rejected(self):
+        with pytest.raises(ModelError):
+            FaultModel({}, HardeningModel(levels=2))
+
+    def test_missing_nominal_wcet_rejected(self):
+        application = Application("app", deadline=10.0, reliability_goal=0.99)
+        application.new_graph("G").add_process(Process("P1"))
+        model = FaultModel(TechnologyModel(1e-10), HardeningModel(levels=2))
+        with pytest.raises(ModelError):
+            model.build_profile(application, [linear_cost_node_type("N1", 1.0, 2)])
+
+    def test_baseline_wcets_override(self):
+        application = self._application()
+        model = FaultModel(TechnologyModel(1e-10), HardeningModel(levels=2))
+        node_types = [linear_cost_node_type("N1", 1.0, 2)]
+        profile = model.build_profile(
+            application, node_types, baseline_wcets={"P1": 5.0, "P2": 20.0}
+        )
+        assert profile.wcet("P1", "N1", 1) == pytest.approx(5.0 * 1.01)
+
+    def test_more_levels_than_model_rejected(self):
+        application = self._application()
+        model = FaultModel(TechnologyModel(1e-10), HardeningModel(levels=2))
+        with pytest.raises(ModelError):
+            model.build_profile(application, [linear_cost_node_type("N1", 1.0, 5)])

@@ -1,0 +1,104 @@
+"""Unit tests for the Monte-Carlo fault-scenario simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, Process
+from repro.core.architecture import Architecture, HVersion, Node, NodeType
+from repro.core.exceptions import ModelError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.simulation import FaultScenarioSimulator
+
+
+def _single_node_problem(failure_probability: float, budget: int):
+    application = Application(
+        "sim", deadline=1_000.0, reliability_goal=1 - 1e-5, recovery_overhead=2.0
+    )
+    graph = application.new_graph("G")
+    graph.add_process(Process("P1", nominal_wcet=10.0))
+    graph.add_process(Process("P2", nominal_wcet=20.0))
+    node_type = NodeType("N", [HVersion(1, 1.0)])
+    profile = ExecutionProfile()
+    profile.add_entry("P1", "N", 1, 10.0, failure_probability)
+    profile.add_entry("P2", "N", 1, 20.0, failure_probability)
+    architecture = Architecture([Node("N", node_type)])
+    mapping = ProcessMapping({"P1": "N", "P2": "N"})
+    schedule = ListScheduler().schedule(
+        application, architecture, mapping, profile, {"N": budget}
+    )
+    return application, architecture, mapping, profile, schedule
+
+
+class TestSimulatorBasics:
+    def test_invalid_iteration_count_rejected(self):
+        with pytest.raises(ModelError):
+            FaultScenarioSimulator(iterations=0)
+
+    def test_no_faults_when_probability_is_zero(self):
+        problem = _single_node_problem(0.0, budget=0)
+        summary = FaultScenarioSimulator(iterations=500, seed=1).simulate(*problem)
+        assert summary.total_faults_injected == 0
+        assert summary.unrecovered_iterations == 0
+        assert summary.observed_failure_rate == 0.0
+        assert summary.timing_validated
+
+    def test_reproducible_with_seed(self):
+        problem = _single_node_problem(0.05, budget=1)
+        first = FaultScenarioSimulator(iterations=2_000, seed=3).simulate(*problem)
+        second = FaultScenarioSimulator(iterations=2_000, seed=3).simulate(*problem)
+        assert first.total_faults_injected == second.total_faults_injected
+        assert first.unrecovered_iterations == second.unrecovered_iterations
+
+    def test_faults_are_injected_at_high_rates(self):
+        problem = _single_node_problem(0.2, budget=3)
+        summary = FaultScenarioSimulator(iterations=2_000, seed=5).simulate(*problem)
+        assert summary.total_faults_injected > 0
+        assert summary.iterations_with_faults > 0
+        assert summary.sample_outcomes  # some faulty iterations are retained
+
+    def test_zero_budget_with_faults_gives_unrecovered_iterations(self):
+        problem = _single_node_problem(0.1, budget=0)
+        summary = FaultScenarioSimulator(iterations=2_000, seed=7).simulate(*problem)
+        assert summary.unrecovered_iterations > 0
+        # Observed unrecovered rate should be near 1 - (1-p)^2 ~ 0.19.
+        assert summary.observed_failure_rate == pytest.approx(0.19, abs=0.05)
+
+
+class TestSimulatorGuarantees:
+    def test_timing_never_exceeds_worst_case_within_budget(self):
+        problem = _single_node_problem(0.2, budget=4)
+        summary = FaultScenarioSimulator(iterations=3_000, seed=11).simulate(*problem)
+        assert summary.timing_validated
+        assert summary.max_relative_completion <= 1.0 + 1e-9
+
+    def test_observed_failure_rate_respects_sfp_bound(self):
+        problem = _single_node_problem(0.05, budget=2)
+        summary = FaultScenarioSimulator(iterations=5_000, seed=13).simulate(*problem)
+        assert summary.respects_sfp_bound
+
+    def test_fig4a_schedule_validates(
+        self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping
+    ):
+        schedule = ListScheduler().schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        summary = FaultScenarioSimulator(iterations=3_000, seed=17).simulate(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, schedule
+        )
+        assert summary.timing_validated
+        assert summary.respects_sfp_bound
+
+    def test_budget_override_argument(self):
+        application, architecture, mapping, profile, schedule = _single_node_problem(
+            0.1, budget=0
+        )
+        generous = FaultScenarioSimulator(iterations=2_000, seed=19).simulate(
+            application, architecture, mapping, profile, schedule, reexecutions={"N": 5}
+        )
+        strict = FaultScenarioSimulator(iterations=2_000, seed=19).simulate(
+            application, architecture, mapping, profile, schedule
+        )
+        assert generous.unrecovered_iterations < strict.unrecovered_iterations

@@ -1,0 +1,193 @@
+"""Unit tests for the synthetic benchmark generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.generator.benchmark import (
+    BenchmarkConfig,
+    build_platform,
+    generate_benchmark,
+    generate_benchmark_suite,
+)
+from repro.generator.platform import generate_node_specs
+from repro.generator.taskgraph import generate_task_graph
+
+
+class TestTaskGraphGenerator:
+    def test_process_count(self):
+        rng = np.random.default_rng(1)
+        graph = generate_task_graph("g", 20, rng)
+        assert len(graph) == 20
+
+    def test_graph_is_acyclic_and_connected_forward(self):
+        rng = np.random.default_rng(2)
+        graph = generate_task_graph("g", 30, rng)
+        order = graph.topological_order()
+        assert len(order) == 30
+        sources = set(graph.sources())
+        for process in graph.process_names:
+            if process not in sources:
+                assert graph.predecessors(process), f"{process} has no predecessor"
+
+    def test_wcets_within_range(self):
+        rng = np.random.default_rng(3)
+        graph = generate_task_graph("g", 25, rng, wcet_range=(1.0, 20.0))
+        for process in graph.processes:
+            assert 1.0 <= process.nominal_wcet <= 20.0
+
+    def test_message_times_within_range(self):
+        rng = np.random.default_rng(4)
+        graph = generate_task_graph("g", 25, rng, message_time_range=(0.5, 2.0))
+        assert graph.messages, "expected at least one message"
+        for message in graph.messages:
+            assert 0.5 <= message.transmission_time <= 2.0
+
+    def test_single_process_graph(self):
+        rng = np.random.default_rng(5)
+        graph = generate_task_graph("g", 1, rng)
+        assert len(graph) == 1
+        assert graph.messages == []
+
+    def test_reproducible_for_same_seed(self):
+        first = generate_task_graph("g", 15, np.random.default_rng(7))
+        second = generate_task_graph("g", 15, np.random.default_rng(7))
+        assert [p.nominal_wcet for p in first.processes] == [
+            p.nominal_wcet for p in second.processes
+        ]
+        assert [(m.source, m.destination) for m in first.messages] == [
+            (m.source, m.destination) for m in second.messages
+        ]
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ModelError):
+            generate_task_graph("g", 0, rng)
+        with pytest.raises(ModelError):
+            generate_task_graph("g", 5, rng, wcet_range=(0.0, 1.0))
+        with pytest.raises(ModelError):
+            generate_task_graph("g", 5, rng, extra_edge_probability=1.5)
+
+
+class TestPlatformGenerator:
+    def test_spec_count_and_ranges(self):
+        rng = np.random.default_rng(11)
+        specs = generate_node_specs(5, rng, base_cost_range=(1.0, 6.0))
+        assert len(specs) == 5
+        for spec in specs:
+            assert 1.0 <= spec.base_cost <= 6.0
+            assert spec.speed_factor >= 1.0
+
+    def test_fastest_node_normalised(self):
+        rng = np.random.default_rng(12)
+        specs = generate_node_specs(4, rng, speed_factor_range=(1.0, 1.4))
+        assert min(spec.speed_factor for spec in specs) == pytest.approx(1.0)
+
+    def test_to_node_type_linear_costs(self):
+        rng = np.random.default_rng(13)
+        spec = generate_node_specs(1, rng)[0]
+        node_type = spec.to_node_type(5)
+        assert node_type.max_hardening == 5
+        assert node_type.cost(5) == pytest.approx(spec.base_cost * 5)
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ModelError):
+            generate_node_specs(0, rng)
+        with pytest.raises(ModelError):
+            generate_node_specs(2, rng, base_cost_range=(3.0, 1.0))
+
+
+class TestBenchmarkGenerator:
+    def test_benchmark_is_valid_application(self):
+        benchmark = generate_benchmark(seed=3)
+        benchmark.application.validate()
+        assert benchmark.application.number_of_processes() == 20
+        assert len(benchmark.node_specs) == 4
+
+    def test_recovery_overheads_follow_fraction_range(self):
+        config = BenchmarkConfig(recovery_overhead_fraction=(0.01, 0.10))
+        benchmark = generate_benchmark(seed=5, config=config)
+        application = benchmark.application
+        for process in application.processes():
+            overhead = application.recovery_overhead_of(process.name)
+            assert 0.01 * process.nominal_wcet <= overhead <= 0.10 * process.nominal_wcet
+
+    def test_reliability_goal_in_paper_range(self):
+        benchmark = generate_benchmark(seed=8)
+        gamma = benchmark.application.gamma
+        assert 7.5e-6 <= gamma <= 2.5e-5
+
+    def test_deadline_at_least_critical_path(self):
+        benchmark = generate_benchmark(seed=9)
+        graph = benchmark.application.graphs[0]
+        critical_path = graph.critical_path_length(
+            lambda name: graph.process(name).nominal_wcet
+        )
+        assert benchmark.application.deadline >= critical_path
+
+    def test_reproducibility(self):
+        first = generate_benchmark(seed=21)
+        second = generate_benchmark(seed=21)
+        assert first.application.deadline == second.application.deadline
+        assert [s.base_cost for s in first.node_specs] == [
+            s.base_cost for s in second.node_specs
+        ]
+
+    def test_suite_alternates_process_counts(self):
+        suite = generate_benchmark_suite(4, process_counts=(20, 40))
+        counts = [benchmark.application.number_of_processes() for benchmark in suite]
+        assert counts == [20, 40, 20, 40]
+
+    def test_suite_requires_positive_count(self):
+        with pytest.raises(ModelError):
+            generate_benchmark_suite(0)
+
+    def test_node_types_materialisation(self):
+        benchmark = generate_benchmark(seed=2)
+        node_types = benchmark.node_types()
+        assert len(node_types) == 4
+        assert all(node_type.max_hardening == 5 for node_type in node_types)
+
+
+class TestBuildPlatform:
+    def test_profile_covers_everything(self):
+        benchmark = generate_benchmark(seed=4, config=BenchmarkConfig(n_processes=10))
+        node_types, profile = build_platform(
+            benchmark, ser_per_cycle=1e-11, hardening_performance_degradation=25.0
+        )
+        profile.validate_against(benchmark.application, node_types)
+
+    def test_higher_ser_means_higher_failure_probability(self):
+        benchmark = generate_benchmark(seed=4, config=BenchmarkConfig(n_processes=10))
+        _, low = build_platform(benchmark, 1e-12, 25.0)
+        _, high = build_platform(benchmark, 1e-10, 25.0)
+        process = benchmark.application.process_names()[0]
+        node = benchmark.node_specs[0].name
+        assert high.failure_probability(process, node, 1) > low.failure_probability(
+            process, node, 1
+        )
+
+    def test_hpd_increases_wcet_at_top_level(self):
+        benchmark = generate_benchmark(seed=4, config=BenchmarkConfig(n_processes=10))
+        _, small_hpd = build_platform(benchmark, 1e-11, 5.0)
+        _, large_hpd = build_platform(benchmark, 1e-11, 100.0)
+        process = benchmark.application.process_names()[0]
+        node = benchmark.node_specs[0].name
+        assert large_hpd.wcet(process, node, 5) > small_hpd.wcet(process, node, 5)
+        # The minimum hardening level is barely affected (1 % in both cases).
+        assert large_hpd.wcet(process, node, 1) == pytest.approx(
+            small_hpd.wcet(process, node, 1)
+        )
+
+    def test_hardening_reduces_failure_probability(self):
+        benchmark = generate_benchmark(seed=4, config=BenchmarkConfig(n_processes=10))
+        _, profile = build_platform(benchmark, 1e-10, 25.0)
+        process = benchmark.application.process_names()[0]
+        node = benchmark.node_specs[0].name
+        probabilities = [
+            profile.failure_probability(process, node, level) for level in range(1, 6)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)

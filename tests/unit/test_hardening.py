@@ -1,0 +1,112 @@
+"""Unit tests for selective hardening plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.faults.hardening import (
+    HardeningLevelSpec,
+    SelectiveHardeningPlan,
+    apply_selective_hardening,
+)
+from repro.faults.processor import ProcessorModel
+
+
+@pytest.fixture
+def processor() -> ProcessorModel:
+    return ProcessorModel(
+        name="cpu", flip_flops=50_000, upset_rate_per_ff_cycle=1e-12, clock_mhz=200.0
+    )
+
+
+class TestHardeningLevelSpec:
+    def test_valid_spec(self):
+        spec = HardeningLevelSpec(level=2, hardened_fraction=0.5, slowdown_factor=1.1)
+        assert spec.level == 2
+
+    def test_invalid_level(self):
+        with pytest.raises(ModelError):
+            HardeningLevelSpec(level=0, hardened_fraction=0.5, slowdown_factor=1.1)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            HardeningLevelSpec(level=1, hardened_fraction=0.5, slowdown_factor=0.9)
+
+
+class TestSelectiveHardeningPlan:
+    def test_levels_must_be_consecutive(self):
+        with pytest.raises(ModelError):
+            SelectiveHardeningPlan(
+                [
+                    HardeningLevelSpec(1, 0.0, 1.0),
+                    HardeningLevelSpec(3, 0.5, 1.1),
+                ]
+            )
+
+    def test_protection_must_be_monotone(self):
+        with pytest.raises(ModelError):
+            SelectiveHardeningPlan(
+                [
+                    HardeningLevelSpec(1, 0.5, 1.0),
+                    HardeningLevelSpec(2, 0.1, 1.1),
+                ]
+            )
+
+    def test_slowdown_must_be_monotone(self):
+        with pytest.raises(ModelError):
+            SelectiveHardeningPlan(
+                [
+                    HardeningLevelSpec(1, 0.0, 1.2),
+                    HardeningLevelSpec(2, 0.5, 1.0),
+                ]
+            )
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ModelError):
+            SelectiveHardeningPlan([])
+
+    def test_unknown_level_rejected(self):
+        plan = SelectiveHardeningPlan.linear(3)
+        with pytest.raises(ModelError):
+            plan.spec(4)
+
+    def test_linear_plan_shape(self):
+        plan = SelectiveHardeningPlan.linear(
+            5, max_hardened_fraction=0.8, max_slowdown_percent=25.0
+        )
+        assert plan.levels == [1, 2, 3, 4, 5]
+        assert plan.spec(1).hardened_fraction == 0.0
+        assert plan.spec(5).hardened_fraction == pytest.approx(0.8)
+        assert plan.spec(1).slowdown_factor == 1.0
+        assert plan.spec(5).slowdown_factor == pytest.approx(1.25)
+
+    def test_single_level_plan(self):
+        plan = SelectiveHardeningPlan.linear(1)
+        assert plan.spec(1).hardened_fraction == 0.0
+        assert plan.spec(1).slowdown_factor == 1.0
+
+
+class TestApplySelectiveHardening:
+    def test_higher_level_is_more_reliable_and_slower(self, processor):
+        plan = SelectiveHardeningPlan.linear(5, max_slowdown_percent=50.0)
+        level1 = apply_selective_hardening(processor, plan, 1)
+        level5 = apply_selective_hardening(processor, plan, 5)
+        assert level5.failure_probability(10.0) < level1.failure_probability(10.0)
+        assert level5.clock_mhz < level1.clock_mhz
+
+    def test_level1_is_the_baseline(self, processor):
+        plan = SelectiveHardeningPlan.linear(3)
+        level1 = apply_selective_hardening(processor, plan, 1)
+        assert level1.error_probability_per_cycle() == pytest.approx(
+            processor.error_probability_per_cycle()
+        )
+        assert level1.clock_mhz == processor.clock_mhz
+
+    def test_failure_probability_monotone_over_levels(self, processor):
+        plan = SelectiveHardeningPlan.linear(5)
+        probabilities = [
+            apply_selective_hardening(processor, plan, level).failure_probability(5.0)
+            for level in plan.levels
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)

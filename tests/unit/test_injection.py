@@ -1,0 +1,119 @@
+"""Unit tests for the Monte-Carlo fault-injection campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, Process
+from repro.core.architecture import linear_cost_node_type
+from repro.core.exceptions import ModelError
+from repro.faults.hardening import SelectiveHardeningPlan
+from repro.faults.injection import FaultInjectionCampaign, InjectionResult
+from repro.faults.processor import ProcessorModel
+
+
+@pytest.fixture
+def processor() -> ProcessorModel:
+    # Deliberately aggressive error rate so campaigns see plenty of failures.
+    return ProcessorModel(
+        name="cpu",
+        flip_flops=100_000,
+        upset_rate_per_ff_cycle=1e-11,
+        clock_mhz=10.0,
+        architectural_derating=0.5,
+    )
+
+
+class TestInjectionResult:
+    def test_failure_probability(self):
+        result = InjectionResult(runs=1000, failures=25)
+        assert result.failure_probability == pytest.approx(0.025)
+
+    def test_zero_runs(self):
+        result = InjectionResult(runs=0, failures=0)
+        assert result.failure_probability == 0.0
+        assert result.confidence_interval() == (0.0, 1.0)
+
+    def test_confidence_interval_brackets_estimate(self):
+        result = InjectionResult(runs=10_000, failures=100)
+        low, high = result.confidence_interval()
+        assert low <= result.failure_probability <= high
+        assert 0.0 <= low and high <= 1.0
+
+
+class TestFaultInjectionCampaign:
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ModelError):
+            FaultInjectionCampaign(runs=0)
+
+    def test_reproducible_with_seed(self, processor):
+        first = FaultInjectionCampaign(runs=2000, seed=7).inject(processor, 10.0)
+        second = FaultInjectionCampaign(runs=2000, seed=7).inject(processor, 10.0)
+        assert first.failures == second.failures
+
+    def test_estimate_close_to_analytic_value(self, processor):
+        campaign = FaultInjectionCampaign(runs=20_000, seed=42)
+        estimate = campaign.inject(processor, 10.0)
+        analytic = processor.failure_probability(10.0)
+        low, high = estimate.confidence_interval(z=3.5)
+        assert low <= analytic <= high
+
+    def test_zero_rate_processor_never_fails(self):
+        processor = ProcessorModel(
+            name="safe", flip_flops=10, upset_rate_per_ff_cycle=0.0
+        )
+        estimate = FaultInjectionCampaign(runs=100).inject(processor, 10.0)
+        assert estimate.failures == 0
+
+    def test_invalid_wcet_rejected(self, processor):
+        with pytest.raises(ValueError):
+            FaultInjectionCampaign(runs=10).inject(processor, 0.0)
+
+
+class TestProfileFromInjection:
+    def _application(self) -> Application:
+        application = Application("app", deadline=100.0, reliability_goal=0.99999)
+        graph = application.new_graph("G")
+        graph.add_process(Process("P1", nominal_wcet=5.0))
+        graph.add_process(Process("P2", nominal_wcet=10.0))
+        return application
+
+    def test_profile_covers_all_levels(self, processor):
+        application = self._application()
+        node_types = [linear_cost_node_type("N1", 2.0, levels=3)]
+        plan = SelectiveHardeningPlan.linear(3, max_slowdown_percent=30.0)
+        campaign = FaultInjectionCampaign(runs=500, seed=1)
+        profile = campaign.profile_application(
+            application, node_types, {"N1": processor}, plan
+        )
+        assert len(profile) == 2 * 3
+        profile.validate_against(application, node_types)
+
+    def test_wcet_grows_with_hardening_level(self, processor):
+        application = self._application()
+        node_types = [linear_cost_node_type("N1", 2.0, levels=3)]
+        plan = SelectiveHardeningPlan.linear(3, max_slowdown_percent=30.0)
+        campaign = FaultInjectionCampaign(runs=200, seed=1)
+        profile = campaign.profile_application(
+            application, node_types, {"N1": processor}, plan
+        )
+        wcets = [profile.wcet("P1", "N1", level) for level in (1, 2, 3)]
+        assert wcets == sorted(wcets)
+
+    def test_missing_processor_model_rejected(self, processor):
+        application = self._application()
+        node_types = [linear_cost_node_type("N1", 2.0, levels=2)]
+        plan = SelectiveHardeningPlan.linear(2)
+        campaign = FaultInjectionCampaign(runs=10)
+        with pytest.raises(ModelError):
+            campaign.profile_application(application, node_types, {}, plan)
+
+    def test_missing_wcet_rejected(self, processor):
+        application = Application("app", deadline=10.0, reliability_goal=0.999)
+        application.new_graph("G").add_process(Process("P1"))
+        node_types = [linear_cost_node_type("N1", 2.0, levels=2)]
+        plan = SelectiveHardeningPlan.linear(2)
+        with pytest.raises(ModelError):
+            FaultInjectionCampaign(runs=10).profile_application(
+                application, node_types, {"N1": processor}, plan
+            )

@@ -1,0 +1,159 @@
+"""Unit tests for the list scheduler with recovery slack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.bus import TDMABus
+from repro.core.application import Application, Message, Process
+from repro.core.architecture import Architecture, HVersion, Node, NodeType
+from repro.core.exceptions import SchedulingError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.scheduling.list_scheduler import ListScheduler
+
+from tests.conftest import build_diamond_application, uniform_profile_for
+
+
+class TestFig4aSchedule:
+    """The Fig. 4a schedule: the numbers the paper draws."""
+
+    def test_root_schedule_and_slack(self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping):
+        schedule = ListScheduler().schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        schedule.validate()
+        assert schedule.entry("P1").start == 0.0
+        assert schedule.entry("P1").finish == 75.0
+        assert schedule.entry("P2").finish == 165.0
+        # P3 waits for message m2 (10 ms on the bus after P1 finishes).
+        assert schedule.entry("P3").start == 85.0
+        # P4 waits for m3 from P2 (arrives 175) on N2.
+        assert schedule.entry("P4").start == 175.0
+        assert schedule.node_recovery_slack["N1"] == pytest.approx(105.0)
+        assert schedule.node_recovery_slack["N2"] == pytest.approx(90.0)
+        assert schedule.length == pytest.approx(340.0)
+        assert schedule.meets_deadline(360.0)
+
+    def test_intra_node_message_takes_no_bus_time(
+        self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping
+    ):
+        schedule = ListScheduler().schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        # m1 (P1 -> P2) and m4 (P3 -> P4) stay node-local.
+        assert not schedule.has_message("m1")
+        assert not schedule.has_message("m4")
+        assert schedule.has_message("m2")
+        assert schedule.has_message("m3")
+
+
+class TestSchedulerBasics:
+    def _single_node_problem(self):
+        application = build_diamond_application(message_time=2.0)
+        node_type = NodeType("N", [HVersion(1, 1.0)])
+        profile = uniform_profile_for(application, [node_type])
+        architecture = Architecture([Node("N", node_type)])
+        mapping = ProcessMapping({name: "N" for name in ("A", "B", "C", "D")})
+        return application, architecture, mapping, profile
+
+    def test_single_node_schedule_is_serial(self):
+        application, architecture, mapping, profile = self._single_node_problem()
+        schedule = ListScheduler().schedule(application, architecture, mapping, profile)
+        schedule.validate()
+        assert schedule.fault_free_length == pytest.approx(10 + 20 + 15 + 12)
+        assert schedule.messages == []
+
+    def test_zero_budget_means_zero_slack(self):
+        application, architecture, mapping, profile = self._single_node_problem()
+        schedule = ListScheduler().schedule(application, architecture, mapping, profile)
+        assert schedule.node_recovery_slack == {"N": 0.0}
+        assert schedule.length == schedule.fault_free_length
+
+    def test_precedence_respected_across_nodes(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture(
+            [Node("NA", two_node_types[0]), Node("NB", two_node_types[1])]
+        )
+        mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+        schedule = ListScheduler().schedule(diamond_app, architecture, mapping, profile)
+        schedule.validate()
+        for message in diamond_app.graphs[0].messages:
+            producer = schedule.entry(message.source)
+            consumer = schedule.entry(message.destination)
+            assert consumer.start >= producer.finish
+
+    def test_cross_node_messages_delay_consumers(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture(
+            [Node("NA", two_node_types[0]), Node("NB", two_node_types[1])]
+        )
+        mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+        schedule = ListScheduler().schedule(diamond_app, architecture, mapping, profile)
+        message = schedule.message_entry("mAB")
+        assert message.start >= schedule.entry("A").finish
+        assert schedule.entry("B").start >= message.finish
+
+    def test_unknown_budget_node_rejected(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture([Node("NA", two_node_types[0])])
+        mapping = ProcessMapping({name: "NA" for name in ("A", "B", "C", "D")})
+        with pytest.raises(SchedulingError):
+            ListScheduler().schedule(
+                diamond_app, architecture, mapping, profile, {"NX": 1}
+            )
+
+    def test_negative_budget_rejected(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture([Node("NA", two_node_types[0])])
+        mapping = ProcessMapping({name: "NA" for name in ("A", "B", "C", "D")})
+        with pytest.raises(SchedulingError):
+            ListScheduler().schedule(
+                diamond_app, architecture, mapping, profile, {"NA": -1}
+            )
+
+    def test_incomplete_mapping_rejected(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture([Node("NA", two_node_types[0])])
+        mapping = ProcessMapping({"A": "NA"})
+        with pytest.raises(Exception):
+            ListScheduler().schedule(diamond_app, architecture, mapping, profile)
+
+    def test_deterministic_output(self, diamond_app, two_node_types):
+        profile = uniform_profile_for(diamond_app, two_node_types)
+        architecture = Architecture(
+            [Node("NA", two_node_types[0]), Node("NB", two_node_types[1])]
+        )
+        mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+        first = ListScheduler().schedule(diamond_app, architecture, mapping, profile)
+        second = ListScheduler().schedule(diamond_app, architecture, mapping, profile)
+        assert [(e.process, e.start, e.finish) for e in first.processes] == [
+            (e.process, e.start, e.finish) for e in second.processes
+        ]
+
+
+class TestSlackSharingToggle:
+    def test_naive_slack_is_never_shorter(self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping):
+        budgets = {"N1": 1, "N2": 1}
+        shared = ListScheduler(slack_sharing=True).schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, budgets
+        )
+        naive = ListScheduler(slack_sharing=False).schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, budgets
+        )
+        assert naive.length >= shared.length
+        assert naive.node_recovery_slack["N1"] == pytest.approx(75 + 15 + 90 + 15)
+
+
+class TestSchedulerWithTDMABus:
+    def test_messages_wait_for_their_slot(self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping):
+        bus = TDMABus(["N1", "N2"], slot_length=20.0)
+        schedule = ListScheduler(bus=bus).schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        schedule.validate()
+        # m2 is produced by N1 at t=75; N1's slots are [0,20), [40,60), [80,100)...
+        message = schedule.message_entry("m2")
+        assert message.start >= 75.0
+        assert message.start % 40.0 < 20.0  # inside an N1 slot
+        assert schedule.entry("P3").start >= message.finish

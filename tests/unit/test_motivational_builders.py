@@ -1,0 +1,83 @@
+"""Unit tests for the motivational-example builders (Fig. 1 / Fig. 3 tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivational import (
+    FIG1_MESSAGE_TIME,
+    fig1_application,
+    fig1_node_types,
+    fig1_profile,
+    fig3_application,
+    fig3_node_type,
+    fig3_profile,
+)
+
+
+class TestFig1Builders:
+    def test_application_structure(self):
+        application = fig1_application()
+        assert application.deadline == 360.0
+        assert application.reliability_goal == pytest.approx(1 - 1e-5)
+        assert application.recovery_overhead == 15.0
+        graph = application.graphs[0]
+        assert graph.process_names == ["P1", "P2", "P3", "P4"]
+        assert graph.sources() == ["P1"]
+        assert graph.sinks() == ["P4"]
+
+    def test_message_time_is_configurable(self):
+        application = fig1_application(message_time=5.0)
+        assert all(m.transmission_time == 5.0 for m in application.messages())
+        default = fig1_application()
+        assert all(m.transmission_time == FIG1_MESSAGE_TIME for m in default.messages())
+
+    def test_node_type_costs_match_the_figure(self):
+        n1, n2 = fig1_node_types()
+        assert [n1.cost(level) for level in (1, 2, 3)] == [16.0, 32.0, 64.0]
+        assert [n2.cost(level) for level in (1, 2, 3)] == [20.0, 40.0, 80.0]
+
+    def test_profile_matches_the_printed_tables(self):
+        profile = fig1_profile()
+        # Spot checks straight from Fig. 1.
+        assert profile.wcet("P1", "N1", 1) == 60.0
+        assert profile.failure_probability("P1", "N1", 1) == pytest.approx(1.2e-3)
+        assert profile.wcet("P4", "N1", 3) == 105.0
+        assert profile.failure_probability("P4", "N1", 3) == pytest.approx(1.6e-10)
+        assert profile.wcet("P3", "N2", 2) == 60.0
+        assert profile.failure_probability("P3", "N2", 2) == pytest.approx(1.2e-5)
+        assert len(profile) == 4 * 2 * 3
+
+    def test_n2_is_faster_than_n1_everywhere(self):
+        profile = fig1_profile()
+        for process in ("P1", "P2", "P3", "P4"):
+            for level in (1, 2, 3):
+                assert profile.wcet(process, "N2", level) < profile.wcet(process, "N1", level)
+
+    def test_hardening_reduces_failure_probabilities(self):
+        profile = fig1_profile()
+        for process in ("P1", "P2", "P3", "P4"):
+            for node in ("N1", "N2"):
+                probabilities = [
+                    profile.failure_probability(process, node, level) for level in (1, 2, 3)
+                ]
+                assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestFig3Builders:
+    def test_application_is_single_process(self):
+        application = fig3_application()
+        assert application.number_of_processes() == 1
+        assert application.recovery_overhead == 20.0
+        assert application.deadline == 360.0
+
+    def test_node_type_costs(self):
+        node_type = fig3_node_type()
+        assert [node_type.cost(level) for level in (1, 2, 3)] == [10.0, 20.0, 40.0]
+
+    def test_profile_matches_the_figure(self):
+        profile = fig3_profile()
+        assert profile.wcet("P1", "N1", 1) == 80.0
+        assert profile.failure_probability("P1", "N1", 1) == pytest.approx(4e-2)
+        assert profile.wcet("P1", "N1", 3) == 160.0
+        assert profile.failure_probability("P1", "N1", 3) == pytest.approx(4e-6)

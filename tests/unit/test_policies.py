@@ -1,0 +1,113 @@
+"""Unit tests for the checkpointing and replication policy extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError, ReliabilityError
+from repro.policies.checkpointing import (
+    CheckpointingPlan,
+    optimal_checkpoint_count,
+    worst_case_execution_with_checkpoints,
+)
+from repro.policies.replication import (
+    ReplicationPlan,
+    replication_failure_probability,
+    required_replicas,
+)
+
+
+class TestWorstCaseWithCheckpoints:
+    def test_single_checkpoint_no_overhead_matches_reexecution(self):
+        # n=1, chi=0: t + k * (t + mu) — the paper's re-execution worst case.
+        assert worst_case_execution_with_checkpoints(30.0, 1, 2, 0.0, 5.0) == pytest.approx(
+            30.0 + 2 * 35.0
+        )
+
+    def test_more_checkpoints_reduce_recovery_but_add_overhead(self):
+        with_two = worst_case_execution_with_checkpoints(100.0, 2, 1, 1.0, 5.0)
+        with_one = worst_case_execution_with_checkpoints(100.0, 1, 1, 1.0, 5.0)
+        assert with_two < with_one
+
+    def test_zero_faults_cost_is_fault_free(self):
+        assert worst_case_execution_with_checkpoints(50.0, 4, 0, 2.0, 5.0) == pytest.approx(
+            50.0 + 8.0
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ModelError):
+            worst_case_execution_with_checkpoints(10.0, 0, 1, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            worst_case_execution_with_checkpoints(10.0, 1, -1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            worst_case_execution_with_checkpoints(0.0, 1, 1, 1.0, 1.0)
+
+
+class TestOptimalCheckpointCount:
+    def test_matches_analytic_square_root(self):
+        # n0 = sqrt(k * t / chi) = sqrt(2 * 50 / 2) ~ 7.07 -> 7 is optimal.
+        count = optimal_checkpoint_count(50.0, faults=2, checkpoint_overhead=2.0, recovery_overhead=5.0)
+        assert count in (7, 8)
+        best = worst_case_execution_with_checkpoints(50.0, count, 2, 2.0, 5.0)
+        for other in range(1, 20):
+            assert best <= worst_case_execution_with_checkpoints(50.0, other, 2, 2.0, 5.0) + 1e-9
+
+    def test_no_faults_needs_single_checkpoint(self):
+        assert optimal_checkpoint_count(50.0, 0, 2.0, 5.0) == 1
+
+    def test_free_checkpoints_saturate_cap(self):
+        assert optimal_checkpoint_count(50.0, 2, 0.0, 5.0, max_checkpoints=16) == 16
+
+    def test_expensive_checkpoints_collapse_to_one(self):
+        assert optimal_checkpoint_count(10.0, 1, 100.0, 5.0) == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ModelError):
+            optimal_checkpoint_count(10.0, 1, 1.0, 1.0, max_checkpoints=0)
+
+
+class TestCheckpointingPlan:
+    def test_optimal_plan_beats_reexecution_for_long_processes(self):
+        plan = CheckpointingPlan.optimal(
+            "P1", wcet=100.0, faults=3, checkpoint_overhead=1.0, recovery_overhead=5.0
+        )
+        assert plan.checkpoints > 1
+        assert plan.worst_case_execution < plan.reexecution_worst_case
+        assert plan.saving_over_reexecution() > 0
+
+    def test_plan_for_zero_faults_has_no_saving(self):
+        plan = CheckpointingPlan.optimal("P1", 10.0, 0, 1.0, 2.0)
+        assert plan.checkpoints == 1
+        assert plan.saving_over_reexecution() == 0.0
+
+
+class TestReplication:
+    def test_joint_failure_probability_is_product(self):
+        assert replication_failure_probability([1e-3, 1e-3]) == pytest.approx(1e-6, rel=1e-5)
+
+    def test_single_replica_is_identity(self):
+        assert replication_failure_probability([0.25]) == pytest.approx(0.25)
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ModelError):
+            replication_failure_probability([])
+
+    def test_required_replicas(self):
+        assert required_replicas(1e-3, 1e-5) == 2
+        assert required_replicas(1e-3, 1e-9) == 3
+        assert required_replicas(1e-3, 1e-3) == 1
+
+    def test_required_replicas_unreachable(self):
+        with pytest.raises(ReliabilityError):
+            required_replicas(0.9, 1e-12, max_replicas=2)
+
+    def test_replication_plan(self):
+        plan = ReplicationPlan("P1", {"N1": 1e-3, "N2": 2e-3})
+        assert plan.replica_count == 2
+        assert plan.failure_probability == pytest.approx(2e-6, rel=1e-3)
+        assert plan.meets(1e-5)
+        assert not plan.meets(1e-7)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ModelError):
+            ReplicationPlan("P1", {})

@@ -1,0 +1,93 @@
+"""Unit tests for the abstract processor model of the fault-injection substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.faults.processor import ProcessorModel
+
+
+@pytest.fixture
+def baseline_processor() -> ProcessorModel:
+    return ProcessorModel(
+        name="cpu",
+        flip_flops=10_000,
+        upset_rate_per_ff_cycle=1e-12,
+        clock_mhz=100.0,
+        architectural_derating=0.1,
+    )
+
+
+class TestProcessorModelValidation:
+    def test_requires_name_and_flip_flops(self):
+        with pytest.raises(ModelError):
+            ProcessorModel(name="", flip_flops=10, upset_rate_per_ff_cycle=1e-12)
+        with pytest.raises(ModelError):
+            ProcessorModel(name="cpu", flip_flops=0, upset_rate_per_ff_cycle=1e-12)
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ProcessorModel(name="cpu", flip_flops=10, upset_rate_per_ff_cycle=2.0)
+        with pytest.raises(ValueError):
+            ProcessorModel(
+                name="cpu",
+                flip_flops=10,
+                upset_rate_per_ff_cycle=1e-12,
+                architectural_derating=1.5,
+            )
+
+
+class TestCyclesAndProbabilities:
+    def test_cycles_for(self, baseline_processor):
+        assert baseline_processor.cycles_for(10.0) == 1_000_000
+
+    def test_cycles_for_rejects_non_positive(self, baseline_processor):
+        with pytest.raises(ValueError):
+            baseline_processor.cycles_for(0.0)
+
+    def test_error_probability_per_cycle(self, baseline_processor):
+        # 10_000 FFs * 1e-12 upsets * 0.1 derating = 1e-9 per cycle.
+        assert baseline_processor.error_probability_per_cycle() == pytest.approx(1e-9)
+
+    def test_failure_probability_scales_with_wcet(self, baseline_processor):
+        short = baseline_processor.failure_probability(1.0)
+        long = baseline_processor.failure_probability(10.0)
+        assert long > short
+        assert long == pytest.approx(1e-3, rel=1e-2)
+
+    def test_fully_hardened_processor_is_more_reliable(self, baseline_processor):
+        hardened = baseline_processor.with_hardening(
+            hardened_fraction=0.99, hardening_efficiency=0.999
+        )
+        assert (
+            hardened.error_probability_per_cycle()
+            < baseline_processor.error_probability_per_cycle()
+        )
+        assert hardened.failure_probability(10.0) < baseline_processor.failure_probability(10.0)
+
+    def test_zero_upset_rate_never_fails(self):
+        processor = ProcessorModel(
+            name="cpu", flip_flops=100, upset_rate_per_ff_cycle=0.0
+        )
+        assert processor.failure_probability(10.0) == 0.0
+
+
+class TestDerivedProcessors:
+    def test_with_hardening_preserves_other_fields(self, baseline_processor):
+        hardened = baseline_processor.with_hardening(0.5)
+        assert hardened.flip_flops == baseline_processor.flip_flops
+        assert hardened.clock_mhz == baseline_processor.clock_mhz
+        assert hardened.hardened_fraction == 0.5
+
+    def test_with_slowdown_reduces_clock(self, baseline_processor):
+        slowed = baseline_processor.with_slowdown(1.25)
+        assert slowed.clock_mhz == pytest.approx(80.0)
+
+    def test_slowdown_below_one_rejected(self, baseline_processor):
+        with pytest.raises(ModelError):
+            baseline_processor.with_slowdown(0.9)
+
+    def test_slowdown_reduces_cycles_for_same_wcet(self, baseline_processor):
+        slowed = baseline_processor.with_slowdown(2.0)
+        assert slowed.cycles_for(10.0) == baseline_processor.cycles_for(10.0) // 2

@@ -1,0 +1,148 @@
+"""Unit tests for RedundancyOpt (hardening/re-execution trade-off)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architecture import Architecture, Node
+from repro.core.exceptions import OptimizationError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.redundancy import FixedHardeningRedundancyOpt, RedundancyOpt
+from repro.experiments.motivational import (
+    fig1_application,
+    fig1_node_types,
+    fig1_profile,
+    fig3_application,
+    fig3_node_type,
+    fig3_profile,
+)
+
+
+@pytest.fixture
+def fig3_setup():
+    application = fig3_application()
+    node_type = fig3_node_type()
+    profile = fig3_profile()
+    architecture = Architecture([Node("N1", node_type)])
+    mapping = ProcessMapping({"P1": "N1"})
+    return application, architecture, mapping, profile
+
+
+class TestRedundancyOptFig3:
+    def test_selects_cheapest_schedulable_hardening(self, fig3_setup):
+        """The paper chooses N1^2: h=3 costs twice as much for the same delay."""
+        application, architecture, mapping, profile = fig3_setup
+        decision = RedundancyOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        assert decision.hardening == {"N1": 2}
+        assert decision.reexecutions == {"N1": 2}
+        assert decision.cost == 20.0
+        assert decision.schedule_length == pytest.approx(340.0)
+        assert decision.is_feasible
+
+    def test_does_not_mutate_input_architecture(self, fig3_setup):
+        application, architecture, mapping, profile = fig3_setup
+        RedundancyOpt().optimize(application, architecture, mapping, profile)
+        assert architecture.hardening_vector() == {"N1": 1}
+
+    def test_infeasible_when_deadline_impossible(self, fig3_setup):
+        from repro.core.application import Application, Process
+
+        _, architecture, mapping, profile = fig3_setup
+        # A 50 ms deadline cannot hold even the fastest h-version (80 ms WCET).
+        tight_application = Application(
+            name="tight",
+            deadline=50.0,
+            reliability_goal=1.0 - 1e-5,
+            recovery_overhead=20.0,
+            period=50.0,
+        )
+        tight_application.new_graph("G1").add_process(Process("P1"))
+        decision = RedundancyOpt().optimize(tight_application, architecture, mapping, profile)
+        assert decision is None
+
+
+class TestRedundancyOptFig4:
+    def test_mapping_4a_resolves_to_h2_on_both_nodes(self):
+        """Section 6.1: the Fig. 4a mapping leads to N1^2/N2^2 with k=1 each."""
+        application = fig1_application()
+        n1, n2 = fig1_node_types()
+        profile = fig1_profile()
+        architecture = Architecture([Node("N1", n1), Node("N2", n2)])
+        mapping = ProcessMapping({"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"})
+        decision = RedundancyOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        assert decision.hardening == {"N1": 2, "N2": 2}
+        assert decision.reexecutions == {"N1": 1, "N2": 1}
+        assert decision.cost == 72.0
+        assert decision.meets_deadline and decision.meets_reliability
+
+    def test_monoprocessor_n1_mapping_is_discarded(self):
+        """Section 6.1: mapping everything on N1 is unschedulable at any level."""
+        application = fig1_application()
+        n1, _ = fig1_node_types()
+        profile = fig1_profile()
+        architecture = Architecture([Node("N1", n1)])
+        mapping = ProcessMapping({name: "N1" for name in ("P1", "P2", "P3", "P4")})
+        decision = RedundancyOpt().optimize(application, architecture, mapping, profile)
+        assert decision is None
+
+    def test_monoprocessor_n2_mapping_needs_maximum_hardening(self):
+        """Section 6.1: re-mapping everything to N2 forces the third level."""
+        application = fig1_application()
+        _, n2 = fig1_node_types()
+        profile = fig1_profile()
+        architecture = Architecture([Node("N2", n2)])
+        mapping = ProcessMapping({name: "N2" for name in ("P1", "P2", "P3", "P4")})
+        decision = RedundancyOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        assert decision.hardening == {"N2": 3}
+        assert decision.cost == 80.0
+
+
+class TestFixedHardeningRedundancyOpt:
+    def test_min_policy_keeps_minimum_levels(self, fig3_setup):
+        application, architecture, mapping, profile = fig3_setup
+        decision = FixedHardeningRedundancyOpt("min").optimize(
+            application, architecture, mapping, profile
+        )
+        # Fig. 3a: with the unhardened node the deadline cannot be met.
+        assert decision is None
+
+    def test_max_policy_uses_maximum_levels(self, fig3_setup):
+        application, architecture, mapping, profile = fig3_setup
+        decision = FixedHardeningRedundancyOpt("max").optimize(
+            application, architecture, mapping, profile
+        )
+        assert decision is not None
+        assert decision.hardening == {"N1": 3}
+        assert decision.cost == 40.0
+        assert decision.reexecutions == {"N1": 1}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(OptimizationError):
+            FixedHardeningRedundancyOpt("median")
+
+    def test_decision_is_feasible_flag(self, fig3_setup):
+        application, architecture, mapping, profile = fig3_setup
+        decision = FixedHardeningRedundancyOpt("max").optimize(
+            application, architecture, mapping, profile
+        )
+        assert decision.is_feasible
+        assert decision.meets_deadline
+        assert decision.meets_reliability
+
+
+class TestEvaluateHardening:
+    def test_reports_infeasible_reliability_when_goal_unreachable(self, fig3_setup):
+        application, architecture, mapping, profile = fig3_setup
+        evaluator = RedundancyOpt(reexecution_opt=None)
+        # Re-execution cap of zero makes the goal unreachable at h=1.
+        from repro.core.reexecution import ReExecutionOpt
+
+        evaluator = RedundancyOpt(reexecution_opt=ReExecutionOpt(max_reexecutions_per_node=0))
+        decision = evaluator.evaluate_hardening(
+            application, architecture, mapping, profile, {"N1": 1}
+        )
+        assert not decision.meets_reliability
+        assert decision.reexecutions == {"N1": 0}

@@ -1,0 +1,106 @@
+"""Unit tests for the greedy ReExecutionOpt heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architecture import Architecture, HVersion, Node, NodeType
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+from repro.core.reexecution import ReExecutionOpt
+from repro.experiments.motivational import fig3_application, fig3_node_type, fig3_profile
+
+
+class TestReExecutionOptFig3:
+    """The paper's Fig. 3: required re-executions are 6, 2 and 1 per h-version."""
+
+    @pytest.mark.parametrize("level, expected_k", [(1, 6), (2, 2), (3, 1)])
+    def test_required_reexecutions_per_hardening_level(self, level, expected_k):
+        application = fig3_application()
+        node_type = fig3_node_type()
+        profile = fig3_profile()
+        architecture = Architecture([Node("N1", node_type, hardening=level)])
+        mapping = ProcessMapping({"P1": "N1"})
+        decision = ReExecutionOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        assert decision.reexecutions == {"N1": expected_k}
+        assert decision.meets_goal
+        assert decision.total_reexecutions == expected_k
+
+
+class TestReExecutionOptFig4a:
+    def test_one_reexecution_per_node(
+        self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping
+    ):
+        decision = ReExecutionOpt().optimize(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof
+        )
+        assert decision is not None
+        assert decision.reexecutions == {"N1": 1, "N2": 1}
+        assert decision.system_failure_per_iteration == pytest.approx(9.6e-10, abs=1e-13)
+
+
+class TestReExecutionOptGeneral:
+    def _one_node_setup(self, failure_probability: float):
+        from repro.core.application import Application, Process
+
+        application = Application(
+            "app", deadline=1000.0, reliability_goal=1 - 1e-5, recovery_overhead=1.0
+        )
+        graph = application.new_graph("G")
+        graph.add_process(Process("P1"))
+        node_type = NodeType("N1", [HVersion(1, 1.0)])
+        profile = ExecutionProfile()
+        profile.add_entry("P1", "N1", 1, 10.0, failure_probability)
+        architecture = Architecture([Node("N1", node_type)])
+        mapping = ProcessMapping({"P1": "N1"})
+        return application, architecture, mapping, profile
+
+    def test_zero_failure_probability_needs_no_reexecution(self):
+        application, architecture, mapping, profile = self._one_node_setup(0.0)
+        decision = ReExecutionOpt().optimize(application, architecture, mapping, profile)
+        assert decision is not None
+        assert decision.reexecutions == {"N1": 0}
+
+    def test_goal_unreachable_within_cap_returns_none(self):
+        # A 50% failure probability cannot reach 1-1e-5 per hour with only two
+        # allowed re-executions.
+        application, architecture, mapping, profile = self._one_node_setup(0.5)
+        optimizer = ReExecutionOpt(max_reexecutions_per_node=2)
+        assert optimizer.optimize(application, architecture, mapping, profile) is None
+
+    def test_budget_grows_with_failure_probability(self):
+        small = self._one_node_setup(1e-6)
+        large = self._one_node_setup(1e-3)
+        k_small = ReExecutionOpt().optimize(*small).reexecutions["N1"]
+        k_large = ReExecutionOpt().optimize(*large).reexecutions["N1"]
+        assert k_large >= k_small
+
+    def test_reexecutions_prefer_less_reliable_node(self, fig1_app, fig1_prof, fig1_nodes):
+        # Map P1/P2 on a highly hardened node and P3/P4 on a weak node: the
+        # heuristic should spend its re-executions on the weak node first.
+        n1, n2 = fig1_nodes
+        architecture = Architecture(
+            [Node("N1", n1, hardening=3), Node("N2", n2, hardening=1)]
+        )
+        mapping = ProcessMapping({"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"})
+        decision = ReExecutionOpt().optimize(fig1_app, architecture, mapping, fig1_prof)
+        assert decision is not None
+        assert decision.reexecutions["N2"] > decision.reexecutions["N1"]
+
+    def test_evaluate_reports_without_optimizing(
+        self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping
+    ):
+        optimizer = ReExecutionOpt()
+        evaluation = optimizer.evaluate(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 0, "N2": 0}
+        )
+        assert not evaluation.meets_goal
+        evaluation = optimizer.evaluate(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        assert evaluation.meets_goal
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ReExecutionOpt(max_reexecutions_per_node=-1)

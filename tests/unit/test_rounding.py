@@ -1,0 +1,65 @@
+"""Unit tests for the pessimistic rounding helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rounding import DEFAULT_DECIMALS, ceil_probability, floor_probability
+
+
+class TestFloorProbability:
+    def test_rounds_down_at_default_precision(self):
+        assert floor_probability(0.123456789012345) == pytest.approx(0.12345678901, abs=1e-15)
+
+    def test_keeps_exact_values_unchanged(self):
+        assert floor_probability(0.5) == 0.5
+
+    def test_matches_paper_no_fault_value(self):
+        # Appendix A.2: (1 - 1.2e-5) * (1 - 1.3e-5) rounded down at 1e-11.
+        raw = (1 - 1.2e-5) * (1 - 1.3e-5)
+        assert floor_probability(raw) == pytest.approx(0.99997500015, abs=1e-12)
+
+    def test_negative_noise_clamped_to_zero(self):
+        assert floor_probability(-1e-18) == 0.0
+
+    def test_above_one_clamped(self):
+        assert floor_probability(1.0 + 1e-15) == 1.0
+
+    def test_custom_precision(self):
+        assert floor_probability(0.987654321, decimals=3) == pytest.approx(0.987)
+
+    def test_zero(self):
+        assert floor_probability(0.0) == 0.0
+
+    def test_one(self):
+        assert floor_probability(1.0) == 1.0
+
+
+class TestCeilProbability:
+    def test_rounds_up_at_default_precision(self):
+        assert ceil_probability(1.23e-12) == pytest.approx(1e-11, abs=1e-18)
+
+    def test_exact_multiple_of_quantum_unchanged(self):
+        assert ceil_probability(4.8e-10) == pytest.approx(4.8e-10, abs=1e-20)
+
+    def test_never_exceeds_one(self):
+        assert ceil_probability(1.0) == 1.0
+        assert ceil_probability(0.9999999999999) == 1.0
+
+    def test_negative_noise_clamped_to_zero(self):
+        assert ceil_probability(-1e-20) == 0.0
+
+    def test_custom_precision(self):
+        assert ceil_probability(0.1234, decimals=2) == pytest.approx(0.13)
+
+    def test_ceil_is_at_least_value(self):
+        for value in (1e-13, 3.7e-9, 0.12345678901234, 0.5):
+            assert ceil_probability(value) >= value
+
+    def test_floor_is_at_most_value(self):
+        for value in (1e-13, 3.7e-9, 0.12345678901234, 0.5):
+            assert floor_probability(value) <= value
+
+
+def test_default_decimals_matches_paper():
+    assert DEFAULT_DECIMALS == 11

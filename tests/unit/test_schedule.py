@@ -1,0 +1,149 @@
+"""Unit tests for the Schedule data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import SchedulingError
+from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
+
+
+def _simple_schedule() -> Schedule:
+    processes = [
+        ScheduledProcess("P1", "N1", 0.0, 75.0),
+        ScheduledProcess("P2", "N1", 75.0, 165.0),
+        ScheduledProcess("P3", "N2", 85.0, 145.0),
+        ScheduledProcess("P4", "N2", 175.0, 250.0),
+    ]
+    messages = [
+        ScheduledMessage("m2", "P1", "P3", "N1", "N2", 75.0, 85.0),
+        ScheduledMessage("m3", "P2", "P4", "N1", "N2", 165.0, 175.0),
+    ]
+    return Schedule(
+        processes=processes,
+        messages=messages,
+        node_recovery_slack={"N1": 105.0, "N2": 90.0},
+        reexecutions={"N1": 1, "N2": 1},
+        hardening={"N1": 2, "N2": 2},
+    )
+
+
+class TestScheduleQueries:
+    def test_entry_lookup(self):
+        schedule = _simple_schedule()
+        assert schedule.entry("P2").finish == 165.0
+        assert schedule.message_entry("m2").start == 75.0
+        assert schedule.has_message("m3")
+        assert not schedule.has_message("m9")
+
+    def test_missing_entries_raise(self):
+        schedule = _simple_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.entry("P9")
+        with pytest.raises(SchedulingError):
+            schedule.message_entry("m9")
+
+    def test_processes_on_node_sorted_by_start(self):
+        schedule = _simple_schedule()
+        assert [entry.process for entry in schedule.processes_on("N1")] == ["P1", "P2"]
+        assert schedule.processes_on("N3") == []
+
+    def test_nodes_listing(self):
+        assert set(_simple_schedule().nodes()) == {"N1", "N2"}
+
+    def test_durations(self):
+        schedule = _simple_schedule()
+        assert schedule.entry("P1").duration == 75.0
+        assert schedule.message_entry("m2").duration == 10.0
+
+    def test_duplicate_process_entries_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(
+                processes=[
+                    ScheduledProcess("P1", "N1", 0.0, 5.0),
+                    ScheduledProcess("P1", "N1", 5.0, 10.0),
+                ],
+                messages=[],
+                node_recovery_slack={},
+                reexecutions={},
+                hardening={},
+            )
+
+
+class TestScheduleLengths:
+    def test_fault_free_length(self):
+        assert _simple_schedule().fault_free_length == 250.0
+
+    def test_node_completion_and_worst_case(self):
+        schedule = _simple_schedule()
+        assert schedule.node_completion("N1") == 165.0
+        assert schedule.worst_case_node_completion("N1") == 270.0
+        assert schedule.worst_case_node_completion("N2") == 340.0
+        assert schedule.node_completion("N3") == 0.0
+
+    def test_length_is_worst_node(self):
+        # This is the Fig. 4a schedule: worst-case length 340 ms.
+        assert _simple_schedule().length == 340.0
+
+    def test_meets_deadline(self):
+        schedule = _simple_schedule()
+        assert schedule.meets_deadline(360.0)
+        assert not schedule.meets_deadline(300.0)
+
+    def test_empty_schedule_has_zero_length(self):
+        schedule = Schedule([], [], {}, {}, {})
+        assert schedule.length == 0.0
+        assert schedule.fault_free_length == 0.0
+
+
+class TestScheduleValidation:
+    def test_valid_schedule_passes(self):
+        _simple_schedule().validate()
+
+    def test_overlapping_processes_detected(self):
+        schedule = Schedule(
+            processes=[
+                ScheduledProcess("P1", "N1", 0.0, 10.0),
+                ScheduledProcess("P2", "N1", 5.0, 15.0),
+            ],
+            messages=[],
+            node_recovery_slack={},
+            reexecutions={},
+            hardening={},
+        )
+        with pytest.raises(SchedulingError, match="overlap"):
+            schedule.validate()
+
+    def test_overlapping_messages_detected(self):
+        schedule = Schedule(
+            processes=[ScheduledProcess("P1", "N1", 0.0, 10.0)],
+            messages=[
+                ScheduledMessage("m1", "P1", "P2", "N1", "N2", 0.0, 5.0),
+                ScheduledMessage("m2", "P1", "P3", "N1", "N2", 3.0, 8.0),
+            ],
+            node_recovery_slack={},
+            reexecutions={},
+            hardening={},
+        )
+        with pytest.raises(SchedulingError, match="overlap"):
+            schedule.validate()
+
+    def test_negative_window_detected(self):
+        schedule = Schedule(
+            processes=[ScheduledProcess("P1", "N1", 10.0, 5.0)],
+            messages=[],
+            node_recovery_slack={},
+            reexecutions={},
+            hardening={},
+        )
+        with pytest.raises(SchedulingError, match="invalid window"):
+            schedule.validate()
+
+
+class TestGanttRendering:
+    def test_gantt_text_mentions_nodes_and_length(self):
+        text = _simple_schedule().as_gantt_text()
+        assert "N1" in text and "N2" in text
+        assert "bus" in text
+        assert "340.0" in text
+        assert "k=1" in text

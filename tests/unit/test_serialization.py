@@ -1,0 +1,140 @@
+"""Unit tests for JSON serialization and DOT export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.mapping_model import ProcessMapping
+from repro.core.evaluation import DesignResult, infeasible_result
+from repro.io.dot import schedule_to_dot, task_graph_to_dot
+from repro.io.serialization import (
+    application_from_dict,
+    application_to_dict,
+    design_result_to_dict,
+    load_problem,
+    node_types_from_dict,
+    node_types_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_problem,
+)
+from repro.experiments.motivational import fig1_node_types
+
+
+class TestApplicationRoundTrip:
+    def test_round_trip_preserves_structure(self, fig1_app):
+        data = application_to_dict(fig1_app)
+        rebuilt = application_from_dict(data)
+        assert rebuilt.name == fig1_app.name
+        assert rebuilt.deadline == fig1_app.deadline
+        assert rebuilt.reliability_goal == fig1_app.reliability_goal
+        assert rebuilt.process_names() == fig1_app.process_names()
+        assert len(rebuilt.messages()) == len(fig1_app.messages())
+        assert rebuilt.recovery_overhead_of("P1") == fig1_app.recovery_overhead_of("P1")
+
+    def test_round_trip_is_json_compatible(self, fig1_app):
+        text = json.dumps(application_to_dict(fig1_app))
+        rebuilt = application_from_dict(json.loads(text))
+        assert rebuilt.number_of_processes() == 4
+
+    def test_missing_key_raises_model_error(self):
+        with pytest.raises(ModelError):
+            application_from_dict({"name": "x"})
+
+
+class TestNodeTypeRoundTrip:
+    def test_round_trip(self):
+        node_types = list(fig1_node_types())
+        data = node_types_to_dict(node_types)
+        rebuilt = node_types_from_dict(data)
+        assert [nt.name for nt in rebuilt] == ["N1", "N2"]
+        assert rebuilt[0].cost(3) == 64.0
+        assert rebuilt[1].speed_factor == pytest.approx(1.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ModelError):
+            node_types_from_dict([{"name": "N1"}])
+
+
+class TestProfileRoundTrip:
+    def test_round_trip(self, fig1_prof):
+        data = profile_to_dict(fig1_prof)
+        rebuilt = profile_from_dict(data)
+        assert len(rebuilt) == len(fig1_prof)
+        assert rebuilt.wcet("P1", "N1", 2) == fig1_prof.wcet("P1", "N1", 2)
+        assert rebuilt.failure_probability("P4", "N2", 3) == pytest.approx(1.3e-10)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ModelError):
+            profile_from_dict([{"process": "P1"}])
+
+
+class TestProblemFiles:
+    def test_save_and_load_problem(self, tmp_path, fig1_app, fig1_prof):
+        path = tmp_path / "problem.json"
+        save_problem(path, fig1_app, list(fig1_node_types()), fig1_prof)
+        application, node_types, profile = load_problem(path)
+        assert application.name == fig1_app.name
+        assert [nt.name for nt in node_types] == ["N1", "N2"]
+        assert len(profile) == len(fig1_prof)
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_problem(path)
+
+
+class TestDesignResultSerialization:
+    def test_feasible_result(self):
+        result = DesignResult(
+            strategy="OPT",
+            application="app",
+            feasible=True,
+            node_types={"N1": "N1"},
+            hardening={"N1": 2},
+            reexecutions={"N1": 1},
+            mapping=ProcessMapping({"P1": "N1"}),
+            schedule_length=100.0,
+            deadline=200.0,
+            cost=32.0,
+            meets_reliability=True,
+        )
+        data = design_result_to_dict(result)
+        assert data["mapping"] == {"P1": "N1"}
+        assert data["cost"] == 32.0
+        json.dumps(data)
+
+    def test_infeasible_result(self):
+        data = design_result_to_dict(infeasible_result("MIN", "app", "nope"))
+        assert data["feasible"] is False
+        assert data["mapping"] is None
+
+
+class TestDotExport:
+    def test_task_graph_dot_contains_nodes_and_edges(self, fig1_app):
+        dot = task_graph_to_dot(fig1_app.graphs[0])
+        assert dot.startswith("digraph")
+        for name in ("P1", "P2", "P3", "P4"):
+            assert f'"{name}"' in dot
+        assert '"P1" -> "P2"' in dot
+
+    def test_task_graph_dot_with_execution_times(self, fig1_app, fig1_prof):
+        dot = task_graph_to_dot(
+            fig1_app.graphs[0], execution_time=lambda p: fig1_prof.wcet(p, "N1", 1)
+        )
+        assert "60.0 ms" in dot
+
+    def test_schedule_dot(self, fig1_app, fig1_prof, fig4a_architecture, fig4a_mapping):
+        from repro.scheduling.list_scheduler import ListScheduler
+
+        schedule = ListScheduler().schedule(
+            fig1_app, fig4a_architecture, fig4a_mapping, fig1_prof, {"N1": 1, "N2": 1}
+        )
+        dot = schedule_to_dot(schedule)
+        assert "cluster_0" in dot
+        assert "bus" in dot
+        assert "P4" in dot
