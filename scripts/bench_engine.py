@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Benchmark smoke run: fast-preset Fig. 6a sweep with the evaluation engine.
+
+Writes a JSON timing artifact (wall clock, cache counters, acceptance
+percentages) used by CI for trajectory tracking.  Run from the repository
+root:
+
+    PYTHONPATH=src python scripts/bench_engine.py --output BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.fault_model import SER_MEDIUM
+from repro.experiments.synthetic import (
+    AcceptanceExperiment,
+    ExperimentPreset,
+    PAPER_HPD_VALUES,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        help="path of the JSON timing artifact",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["smoke", "fast"],
+        default="fast",
+        help="experiment preset to benchmark",
+    )
+    arguments = parser.parse_args()
+
+    preset = {
+        "smoke": ExperimentPreset.smoke,
+        "fast": ExperimentPreset.fast,
+    }[arguments.preset]()
+    experiment = AcceptanceExperiment(preset=preset)
+
+    start = time.perf_counter()
+    sweep = experiment.hpd_sweep(
+        ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, max_cost=20.0
+    )
+    wall_clock = time.perf_counter() - start
+    cache = experiment.cache_report()
+
+    payload = {
+        "benchmark": f"fig6a_hpd_sweep_{arguments.preset}",
+        "wall_clock_seconds": round(wall_clock, 3),
+        "cache": cache,
+        "acceptance": {f"{hpd:g}": values for hpd, values in sweep.items()},
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    arguments.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    print(json.dumps(payload, indent=2))
+    print(f"\nartifact written to {arguments.output}")
+    if cache["hits"] == 0:
+        print("ERROR: engine reported zero cache hits")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

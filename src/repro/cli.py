@@ -39,6 +39,15 @@ from repro.experiments.synthetic import (
 from repro.experiments.cruise_control import run_cruise_controller_study
 
 
+def _job_count(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (1 = serial, 0 = one per CPU), got {jobs}"
+        )
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -69,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["smoke", "fast", "paper"],
         default="fast",
         help="experiment size/effort preset",
+    )
+    synthetic.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help=(
+            "worker processes for the per-application loop "
+            "(1 = serial, 0 = one per CPU)"
+        ),
     )
     synthetic.set_defaults(handler=_run_synthetic)
 
@@ -158,7 +176,7 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
         "fast": ExperimentPreset.fast,
         "paper": ExperimentPreset.paper,
     }[arguments.preset]()
-    experiment = AcceptanceExperiment(preset=preset)
+    experiment = AcceptanceExperiment(preset=preset, n_jobs=arguments.jobs)
     payload = {}
     figures = (
         ["6a", "6b", "6c", "6d"] if arguments.figure == "all" else [arguments.figure]
@@ -181,6 +199,15 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
             print(render_hpd_sweep(sweep, "Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20)"))
             payload["6d"] = sweep
         print()
+    cache = experiment.cache_report()
+    print(
+        "evaluation engine: "
+        f"{cache['points_computed']} design points computed "
+        f"({cache['search_evaluations']} mapping evaluations), "
+        f"{cache['hits']} cache hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate'] * 100.0:.1f}%)"
+    )
+    payload["cache"] = cache
     _maybe_write_json(arguments, payload)
     return 0
 

@@ -53,6 +53,15 @@ class Bus(ABC):
         """Forget all reservations (called before each scheduling pass)."""
         self._reservations = []
 
+    def signature(self) -> Tuple:
+        """Configuration fingerprint for evaluation-engine cache keys.
+
+        Two buses with equal signatures must grant identical reservations for
+        identical request sequences.  Subclasses with configuration (slot
+        orders, slot lengths, ...) must extend this.
+        """
+        return (type(self).__name__,)
+
     @property
     def reservations(self) -> List[BusReservation]:
         """All reservations granted since the last :meth:`reset`."""
@@ -103,9 +112,13 @@ class Bus(ABC):
         return False
 
     def _earliest_gap(self, earliest_start: float, duration: float) -> float:
-        """Earliest start >= ``earliest_start`` that avoids existing reservations."""
+        """Earliest start >= ``earliest_start`` that avoids existing reservations.
+
+        ``_reservations`` is kept sorted by start time by :meth:`reserve`, so
+        the scan needs no extra sort.
+        """
         candidate = earliest_start
-        for reservation in sorted(self._reservations, key=lambda r: r.start):
+        for reservation in self._reservations:
             if candidate + duration <= reservation.start:
                 break
             if candidate < reservation.finish:
@@ -140,6 +153,9 @@ class TDMABus(Bus):
             raise ModelError(f"Duplicate nodes in TDMA slot order: {list(slot_order)}")
         self.slot_order = list(slot_order)
         self.slot_length = require_positive(slot_length, "slot_length")
+
+    def signature(self) -> Tuple:
+        return (type(self).__name__, tuple(self.slot_order), self.slot_length)
 
     @property
     def round_length(self) -> float:

@@ -109,6 +109,30 @@ class TaskGraph:
         self.name = name
         self._graph = nx.DiGraph()
         self._messages: Dict[Tuple[str, str], Message] = {}
+        # Structure caches (topological order, adjacency) — rebuilt lazily and
+        # dropped on every mutation.  The DSE heuristics query graph structure
+        # thousands of times per exploration while the graph never changes.
+        self._topo_cache: Optional[List[str]] = None
+        self._adjacency_cache: Optional[
+            Tuple[Dict[str, List[str]], Dict[str, List[str]]]
+        ] = None
+        self._generations_cache: Optional[List[List[str]]] = None
+
+    def _invalidate_structure_caches(self) -> None:
+        self._topo_cache = None
+        self._adjacency_cache = None
+        self._generations_cache = None
+
+    def _adjacency(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        if self._adjacency_cache is None:
+            predecessors = {
+                name: list(self._graph.predecessors(name)) for name in self._graph
+            }
+            successors = {
+                name: list(self._graph.successors(name)) for name in self._graph
+            }
+            self._adjacency_cache = (predecessors, successors)
+        return self._adjacency_cache
 
     # ------------------------------------------------------------------
     # construction
@@ -119,6 +143,7 @@ class TaskGraph:
             raise ModelError(
                 f"Process {process.name} already exists in task graph {self.name}"
             )
+        self._invalidate_structure_caches()
         self._graph.add_node(process.name, process=process)
         return process
 
@@ -136,6 +161,7 @@ class TaskGraph:
                 f"A message from {message.source} to {message.destination} "
                 f"already exists in task graph {self.name}"
             )
+        self._invalidate_structure_caches()
         self._graph.add_edge(message.source, message.destination, message=message)
         self._messages[key] = message
         if not nx.is_directed_acyclic_graph(self._graph):
@@ -178,16 +204,16 @@ class TaskGraph:
         return name in self._graph
 
     def predecessors(self, name: str) -> List[str]:
-        return list(self._graph.predecessors(name))
+        return list(self._adjacency()[0][name])
 
     def successors(self, name: str) -> List[str]:
-        return list(self._graph.successors(name))
+        return list(self._adjacency()[1][name])
 
     def incoming_messages(self, name: str) -> List[Message]:
-        return [self._messages[(pred, name)] for pred in self._graph.predecessors(name)]
+        return [self._messages[(pred, name)] for pred in self._adjacency()[0][name]]
 
     def outgoing_messages(self, name: str) -> List[Message]:
-        return [self._messages[(name, succ)] for succ in self._graph.successors(name)]
+        return [self._messages[(name, succ)] for succ in self._adjacency()[1][name]]
 
     def sources(self) -> List[str]:
         """Processes with no predecessors (entry points of the graph)."""
@@ -198,7 +224,29 @@ class TaskGraph:
         return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
 
     def topological_order(self) -> List[str]:
-        return list(nx.topological_sort(self._graph))
+        if self._topo_cache is None:
+            self._topo_cache = list(nx.topological_sort(self._graph))
+        return list(self._topo_cache)
+
+    def adjacency_maps(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        """Cached ``(predecessor map, successor map)`` of the whole graph.
+
+        The returned dictionaries are the graph's internal caches — treat
+        them as read-only.  Hot paths (scheduling priorities, readiness
+        checks) use this instead of per-process :meth:`predecessors` /
+        :meth:`successors` calls, which copy their result lists.
+        """
+        return self._adjacency()
+
+    def topological_generations(self) -> List[List[str]]:
+        """Antichain layers of the DAG: every process's predecessors live in
+        strictly earlier layers.  Cached; treat the result as read-only."""
+        if self._generations_cache is None:
+            self._generations_cache = [
+                sorted(generation)
+                for generation in nx.topological_generations(self._graph)
+            ]
+        return self._generations_cache
 
     def __len__(self) -> int:
         return self._graph.number_of_nodes()

@@ -24,6 +24,7 @@ hardening levels (see :mod:`repro.core.baselines`).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from itertools import combinations
 from math import inf
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -34,6 +35,7 @@ from repro.core.evaluation import DesignResult, infeasible_result
 from repro.core.exceptions import OptimizationError
 from repro.core.mapping import MappingAlgorithm, MappingResult, Objective
 from repro.core.profile import ExecutionProfile
+from repro.engine import EvaluationEngine
 
 
 class ArchitectureEnumerator:
@@ -91,6 +93,12 @@ class DesignStrategy:
     strategy_name:
         Label stored in the produced :class:`DesignResult` (``"OPT"``,
         ``"MIN"``, ``"MAX"`` ...).
+    use_engine:
+        When ``True`` (default) each :meth:`explore` call runs against an
+        :class:`~repro.engine.engine.EvaluationEngine` — a fresh one per call
+        unless a shared engine is injected — so revisited design points are
+        served from cache.  Disable only to benchmark the unmemoized path;
+        results are bit-identical either way.
     """
 
     def __init__(
@@ -98,12 +106,14 @@ class DesignStrategy:
         node_types: Sequence[NodeType],
         mapping_algorithm: Optional[MappingAlgorithm] = None,
         strategy_name: str = "OPT",
+        use_engine: bool = True,
     ) -> None:
         self.enumerator = ArchitectureEnumerator(node_types)
         self.mapping_algorithm = (
             mapping_algorithm if mapping_algorithm is not None else MappingAlgorithm()
         )
         self.strategy_name = strategy_name
+        self.use_engine = use_engine
 
     # ------------------------------------------------------------------
     def explore(
@@ -111,6 +121,7 @@ class DesignStrategy:
         application: Application,
         profile: ExecutionProfile,
         max_architecture_cost: Optional[float] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> DesignResult:
         """Explore architectures and return the best (cheapest feasible) design.
 
@@ -118,8 +129,57 @@ class DesignStrategy:
         whose minimum cost already exceeds it are skipped); acceptance against
         ``ArC`` is re-checked by the caller via
         :meth:`DesignResult.is_accepted`.
+
+        ``engine`` lets callers share one evaluation engine across several
+        strategies exploring the same (application, profile) — e.g. the
+        synthetic experiment harness runs MIN / MAX / OPT against one engine
+        so design points evaluated by one strategy are free for the others.
         """
         application.validate()
+        if engine is None and self.use_engine:
+            engine = EvaluationEngine(application, profile)
+        # Attribute only this exploration's engine activity to the result when
+        # the caller shares an engine across strategies.
+        hits_before = engine.stats.hits if engine is not None else 0
+        misses_before = engine.stats.misses if engine is not None else 0
+        computed_before = engine.evaluations if engine is not None else 0
+        self.mapping_algorithm.use_engine(engine)
+        try:
+            best, total_evaluations = self._explore(
+                application, profile, max_architecture_cost
+            )
+        finally:
+            self.mapping_algorithm.use_engine(None)
+        cache_hits = engine.stats.hits - hits_before if engine is not None else 0
+        cache_misses = engine.stats.misses - misses_before if engine is not None else 0
+        points_computed = (
+            engine.evaluations - computed_before if engine is not None else 0
+        )
+
+        if best is None:
+            return infeasible_result(
+                self.strategy_name,
+                application.name,
+                reason="no architecture meets the deadline and reliability goal",
+                evaluations=total_evaluations,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                points_computed=points_computed,
+            )
+        return replace(
+            best,
+            evaluations=total_evaluations,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            points_computed=points_computed,
+        )
+
+    def _explore(
+        self,
+        application: Application,
+        profile: ExecutionProfile,
+        max_architecture_cost: Optional[float],
+    ):
         best: Optional[DesignResult] = None
         best_cost = inf
         if max_architecture_cost is not None:
@@ -133,8 +193,12 @@ class DesignStrategy:
             advanced = False
             for subset in self.enumerator.candidates(node_count):
                 architecture = self.enumerator.build(subset)
-                if architecture.minimum_cost >= min(best_cost, cost_cap + 1e-9) and best is not None:
-                    # Cheaper than nothing we already have — skip (paper line 6).
+                if architecture.minimum_cost >= min(best_cost, cost_cap + 1e-9):
+                    # Even at minimum hardening this architecture cannot beat
+                    # the best cost so far or fit the cost cap — skip it
+                    # without evaluating (paper line 6).  Note the cap prune
+                    # applies from the very first candidate, before any
+                    # feasible design is known.
                     continue
                 schedule_result = self.mapping_algorithm.optimize(
                     application,
@@ -170,29 +234,7 @@ class DesignStrategy:
             if not advanced:
                 node_count += 1
 
-        if best is None:
-            return infeasible_result(
-                self.strategy_name,
-                application.name,
-                reason="no architecture meets the deadline and reliability goal",
-                evaluations=total_evaluations,
-            )
-        return DesignResult(
-            strategy=best.strategy,
-            application=best.application,
-            feasible=best.feasible,
-            node_types=best.node_types,
-            hardening=best.hardening,
-            reexecutions=best.reexecutions,
-            mapping=best.mapping,
-            schedule=best.schedule,
-            schedule_length=best.schedule_length,
-            deadline=best.deadline,
-            cost=best.cost,
-            meets_reliability=best.meets_reliability,
-            failure_reason=best.failure_reason,
-            evaluations=total_evaluations,
-        )
+        return best, total_evaluations
 
     # ------------------------------------------------------------------
     def _to_result(

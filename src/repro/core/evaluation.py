@@ -39,12 +39,32 @@ class DesignResult:
     cost: float = float("inf")
     meets_reliability: bool = False
     failure_reason: str = ""
+    #: Design points *examined* by the search (tabu-move evaluations); this is
+    #: the paper's notion of search effort and is identical with or without
+    #: caching.
     evaluations: int = 0
+    # Engine counters attributed to this exploration.  Excluded from
+    # equality: a warm-cache run must compare equal to a cold one as long as
+    # the *design* is identical.  ``points_computed`` counts design points
+    # actually evaluated (decision-cache misses that ran the re-execution
+    # optimizer + scheduler) — on a warm cache it approaches zero while
+    # ``evaluations`` stays constant.
+    cache_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
+    points_computed: int = field(default=0, compare=False)
 
     # ------------------------------------------------------------------
     @property
     def meets_deadline(self) -> bool:
         return self.schedule_length <= self.deadline
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of engine cache lookups served from cache (0.0 if none)."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
 
     def is_accepted(self, max_architecture_cost: Optional[float] = None) -> bool:
         """Paper acceptance criterion: reliable, schedulable, affordable."""
@@ -76,7 +96,13 @@ class DesignResult:
 
 
 def infeasible_result(
-    strategy: str, application: str, reason: str, evaluations: int = 0
+    strategy: str,
+    application: str,
+    reason: str,
+    evaluations: int = 0,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    points_computed: int = 0,
 ) -> DesignResult:
     """Convenience constructor for an infeasible design outcome."""
     return DesignResult(
@@ -85,6 +111,9 @@ def infeasible_result(
         feasible=False,
         failure_reason=reason,
         evaluations=evaluations,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        points_computed=points_computed,
     )
 
 

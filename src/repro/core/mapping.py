@@ -34,6 +34,7 @@ from repro.core.exceptions import MappingError
 from repro.core.mapping_model import ProcessMapping
 from repro.core.profile import ExecutionProfile
 from repro.core.redundancy import RedundancyDecision, RedundancyOpt, _RedundancyEvaluator
+from repro.engine import EvaluationEngine
 from repro.scheduling.schedule import Schedule
 
 
@@ -92,6 +93,11 @@ class MappingAlgorithm:
     max_candidates:
         At most this many critical-path processes are considered for
         re-mapping per iteration (keeps the neighbourhood small).
+    engine:
+        Optional :class:`~repro.engine.engine.EvaluationEngine` forwarded to
+        the redundancy optimizer so revisited design points (tabu moves, the
+        COST pass re-evaluating the SCHEDULE_LENGTH winner, overlapping
+        hardening trials) are served from cache.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class MappingAlgorithm:
         stop_after_no_improvement: int = 4,
         tabu_tenure: int = 3,
         max_candidates: int = 4,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.redundancy_optimizer = (
             redundancy_optimizer if redundancy_optimizer is not None else RedundancyOpt()
@@ -109,6 +116,17 @@ class MappingAlgorithm:
         self.stop_after_no_improvement = stop_after_no_improvement
         self.tabu_tenure = tabu_tenure
         self.max_candidates = max_candidates
+        self.engine: Optional[EvaluationEngine] = None
+        if engine is not None:
+            self.use_engine(engine)
+
+    # ------------------------------------------------------------------
+    def use_engine(self, engine: Optional[EvaluationEngine]) -> None:
+        """Attach (or detach, with ``None``) an evaluation engine."""
+        self.engine = engine
+        optimizer = self.redundancy_optimizer
+        if hasattr(optimizer, "use_engine"):
+            optimizer.use_engine(engine)
 
     # ------------------------------------------------------------------
     # public API
@@ -271,6 +289,7 @@ class MappingAlgorithm:
         process has been waiting to be re-mapped.
         """
         critical: List[str] = []
+        seen: set = set()
         if decision is not None:
             schedule = decision.schedule
             nodes = sorted(
@@ -280,12 +299,14 @@ class MappingAlgorithm:
             )
             for node in nodes:
                 for entry in schedule.processes_on(node):
-                    if entry.process not in critical:
+                    if entry.process not in seen:
+                        seen.add(entry.process)
                         critical.append(entry.process)
                 if len(critical) >= self.max_candidates:
                     break
         for process in application.process_names():
-            if process not in critical:
+            if process not in seen:
+                seen.add(process)
                 critical.append(process)
         original_order = {process: index for index, process in enumerate(critical)}
         critical.sort(

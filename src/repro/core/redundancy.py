@@ -30,6 +30,12 @@ from repro.core.exceptions import OptimizationError
 from repro.core.mapping_model import ProcessMapping
 from repro.core.profile import ExecutionProfile
 from repro.core.reexecution import ReExecutionOpt
+from repro.engine import MISS, EvaluationEngine
+from repro.engine.fingerprint import (
+    architecture_fingerprint,
+    hardening_fingerprint,
+    mapping_fingerprint,
+)
 from repro.scheduling.list_scheduler import ListScheduler
 from repro.scheduling.schedule import Schedule
 
@@ -53,18 +59,69 @@ class RedundancyDecision:
 
 
 class _RedundancyEvaluator:
-    """Shared machinery: evaluate one hardening vector for a fixed mapping."""
+    """Shared machinery: evaluate one hardening vector for a fixed mapping.
+
+    When an :class:`~repro.engine.engine.EvaluationEngine` is attached (via
+    :meth:`use_engine`), every evaluated design point — (architecture,
+    mapping, hardening vector) under the bound (application, profile) — is
+    memoized, so revisited points skip both the re-execution optimization and
+    the list scheduler.  Cached :class:`RedundancyDecision` objects are shared
+    between callers and must be treated as immutable (their dict fields are
+    copied by every consumer that mutates).
+    """
 
     def __init__(
         self,
         scheduler: Optional[ListScheduler] = None,
         reexecution_opt: Optional[ReExecutionOpt] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else ListScheduler()
         self.reexecution_opt = (
             reexecution_opt if reexecution_opt is not None else ReExecutionOpt()
         )
+        self.engine: Optional[EvaluationEngine] = None
+        if engine is not None:
+            self.use_engine(engine)
 
+    # ------------------------------------------------------------------
+    def use_engine(self, engine: Optional[EvaluationEngine]) -> None:
+        """Attach (or detach, with ``None``) an evaluation engine."""
+        self.engine = engine
+        self.reexecution_opt.engine = engine
+
+    def _active_engine(
+        self, application: Application, profile: ExecutionProfile
+    ) -> Optional[EvaluationEngine]:
+        """The attached engine, if it is bound to this (application, profile)."""
+        engine = self.engine
+        if engine is not None and engine.matches(application, profile):
+            return engine
+        return None
+
+    def _evaluator_signature(self) -> Tuple:
+        """Configuration part of the cache keys.
+
+        Two evaluators with the same signature produce identical decisions
+        for identical design points, so MIN / MAX / OPT strategies can share
+        one engine.
+        """
+        bus = getattr(self.scheduler, "bus", None)
+        if bus is None:
+            bus_signature = None
+        elif hasattr(bus, "signature"):
+            bus_signature = bus.signature()
+        else:
+            bus_signature = (type(bus).__name__,)
+        return (
+            type(self.scheduler).__name__,
+            getattr(self.scheduler, "slack_sharing", None),
+            bus_signature,
+            self.reexecution_opt.max_reexecutions_per_node,
+            self.reexecution_opt.decimals,
+        )
+
+    # ------------------------------------------------------------------
     def evaluate_hardening(
         self,
         application: Application,
@@ -74,6 +131,41 @@ class _RedundancyEvaluator:
         hardening: Dict[str, int],
     ) -> RedundancyDecision:
         """Evaluate one hardening vector: re-executions, schedule, cost."""
+        engine = self._active_engine(application, profile)
+        # The cache key treats the hardening vector as a *total* description
+        # of the node levels; a partial vector (legal for the unmemoized
+        # path — apply_hardening_vector only updates the named nodes) would
+        # alias design points that differ in the unnamed nodes' current
+        # levels, so it bypasses the cache.
+        if engine is None or len(hardening) != len(architecture):
+            return self._evaluate_hardening(
+                application, architecture, mapping, profile, hardening
+            )
+        key = (
+            self._evaluator_signature(),
+            architecture_fingerprint(architecture),
+            mapping_fingerprint(mapping),
+            hardening_fingerprint(hardening),
+        )
+        decision = engine.decisions.get(key)
+        if decision is MISS:
+            decision = engine.decisions.put(
+                key,
+                self._evaluate_hardening(
+                    application, architecture, mapping, profile, hardening
+                ),
+            )
+            engine.evaluations += 1
+        return decision
+
+    def _evaluate_hardening(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+        hardening: Dict[str, int],
+    ) -> RedundancyDecision:
         candidate = architecture.copy()
         candidate.apply_hardening_vector(hardening)
         reexecution = self.reexecution_opt.optimize(
@@ -117,6 +209,27 @@ class RedundancyOpt(_RedundancyEvaluator):
         that is both schedulable and reliable (the mapping is then discarded
         by the caller, as in the paper's Fig. 4d discussion).
         """
+        engine = self._active_engine(application, profile)
+        if engine is not None:
+            key = (
+                type(self).__name__,
+                self._evaluator_signature(),
+                architecture_fingerprint(architecture),
+                mapping_fingerprint(mapping),
+            )
+            return engine.optimizations.memoize(
+                key,
+                lambda: self._optimize(application, architecture, mapping, profile),
+            )
+        return self._optimize(application, architecture, mapping, profile)
+
+    def _optimize(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+    ) -> Optional[RedundancyDecision]:
         hardening = {
             node.name: node.node_type.min_hardening for node in architecture
         }
@@ -193,8 +306,9 @@ class FixedHardeningRedundancyOpt(_RedundancyEvaluator):
         policy: str,
         scheduler: Optional[ListScheduler] = None,
         reexecution_opt: Optional[ReExecutionOpt] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
-        super().__init__(scheduler=scheduler, reexecution_opt=reexecution_opt)
+        super().__init__(scheduler=scheduler, reexecution_opt=reexecution_opt, engine=engine)
         if policy not in ("min", "max"):
             raise OptimizationError(
                 f"FixedHardeningRedundancyOpt policy must be 'min' or 'max', got {policy!r}"
@@ -202,6 +316,28 @@ class FixedHardeningRedundancyOpt(_RedundancyEvaluator):
         self.policy = policy
 
     def optimize(
+        self,
+        application: Application,
+        architecture: Architecture,
+        mapping: ProcessMapping,
+        profile: ExecutionProfile,
+    ) -> Optional[RedundancyDecision]:
+        engine = self._active_engine(application, profile)
+        if engine is not None:
+            key = (
+                type(self).__name__,
+                self.policy,
+                self._evaluator_signature(),
+                architecture_fingerprint(architecture),
+                mapping_fingerprint(mapping),
+            )
+            return engine.optimizations.memoize(
+                key,
+                lambda: self._optimize(application, architecture, mapping, profile),
+            )
+        return self._optimize(application, architecture, mapping, profile)
+
+    def _optimize(
         self,
         application: Application,
         architecture: Architecture,

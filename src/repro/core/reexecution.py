@@ -14,7 +14,10 @@ system failure probability the most receives one more re-execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import EvaluationEngine
 
 from repro.core.application import Application
 from repro.core.architecture import Architecture
@@ -55,12 +58,19 @@ class ReExecutionOpt:
         goal with software redundancy alone".
     decimals:
         Rounding accuracy forwarded to the SFP analysis.
+    engine:
+        Optional :class:`~repro.engine.engine.EvaluationEngine` serving the
+        per-node exceedance and system-failure memo tables.  The greedy loop
+        re-queries the same (node, budget) exceedances on every iteration, so
+        memoization removes most of the Decimal-chain recomputation.  Results
+        are bit-identical with and without an engine.
     """
 
     def __init__(
         self,
         max_reexecutions_per_node: int = 20,
         decimals: int = DEFAULT_DECIMALS,
+        engine: Optional["EvaluationEngine"] = None,
     ) -> None:
         if max_reexecutions_per_node < 0:
             raise ValueError(
@@ -69,6 +79,7 @@ class ReExecutionOpt:
             )
         self.max_reexecutions_per_node = max_reexecutions_per_node
         self.decimals = decimals
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def optimize(
@@ -83,18 +94,32 @@ class ReExecutionOpt:
         Returns ``None`` when the goal cannot be met within the per-node cap
         (typically because the hardening level is too low for the error rate).
         """
+        engine = self.engine
         analysis = SFPAnalysis(
-            application, architecture, mapping, profile, decimals=self.decimals
+            application, architecture, mapping, profile, decimals=self.decimals,
+            engine=engine,
         )
         node_names = [node.name for node in architecture]
-        probabilities: Dict[str, List[float]] = {
-            node.name: analysis.node_failure_probabilities(node)
+        # Ordered tuples: the DP sums are order-sensitive in their last bits,
+        # and the engine memo must reproduce the unmemoized result exactly.
+        probabilities: Dict[str, Tuple[float, ...]] = {
+            node.name: tuple(analysis.node_failure_probabilities(node))
             for node in architecture
         }
+
+        def node_exceedance(name: str, budget: int) -> float:
+            if engine is not None:
+                return engine.node_exceedance(probabilities[name], budget, self.decimals)
+            return probability_exceeds(probabilities[name], budget, self.decimals)
+
+        def union_failure(values: Tuple[float, ...]) -> float:
+            if engine is not None:
+                return engine.system_failure(values, self.decimals)
+            return system_failure_probability(values, self.decimals)
+
         budgets: Dict[str, int] = {name: 0 for name in node_names}
         exceedance: Dict[str, float] = {
-            name: probability_exceeds(probabilities[name], 0, self.decimals)
-            for name in node_names
+            name: node_exceedance(name, 0) for name in node_names
         }
 
         goal = application.reliability_goal
@@ -102,7 +127,7 @@ class ReExecutionOpt:
         period = application.period
 
         def current_reliability() -> tuple[float, float]:
-            system = system_failure_probability(list(exceedance.values()), self.decimals)
+            system = union_failure(tuple(exceedance.values()))
             return system, reliability_over_time_unit(system, time_unit, period)
 
         system, reliability = current_reliability()
@@ -116,16 +141,12 @@ class ReExecutionOpt:
                 if not probabilities[name]:
                     # No process mapped on the node: re-executions cannot help.
                     continue
-                candidate_exceedance = probability_exceeds(
-                    probabilities[name], budgets[name] + 1, self.decimals
-                )
-                candidate_values = [
+                candidate_exceedance = node_exceedance(name, budgets[name] + 1)
+                candidate_values = tuple(
                     candidate_exceedance if other == name else exceedance[other]
                     for other in node_names
-                ]
-                candidate_system = system_failure_probability(
-                    candidate_values, self.decimals
                 )
+                candidate_system = union_failure(candidate_values)
                 if candidate_system < best_system or (
                     best_node is None and candidate_system <= best_system
                 ):
@@ -161,7 +182,8 @@ class ReExecutionOpt:
     ) -> ReExecutionDecision:
         """Evaluate a user-supplied assignment without optimizing it."""
         analysis = SFPAnalysis(
-            application, architecture, mapping, profile, decimals=self.decimals
+            application, architecture, mapping, profile, decimals=self.decimals,
+            engine=self.engine,
         )
         report = analysis.evaluate(reexecutions)
         return ReExecutionDecision(

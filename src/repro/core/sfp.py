@@ -43,7 +43,10 @@ from dataclasses import dataclass
 from decimal import Decimal
 from itertools import combinations_with_replacement
 from math import prod
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports sfp)
+    from repro.engine.engine import EvaluationEngine
 
 from repro.core.application import Application
 from repro.core.architecture import Architecture, Node
@@ -142,6 +145,14 @@ def probability_exceeds(
     ``reexecutions`` is the per-node budget ``k_j``; the node fails when the
     number of faults in one iteration exceeds it.
 
+    All of ``h_1 .. h_k`` are read off one dynamic-programming table built in
+    a single pass over the probabilities (O(k·m) instead of the O(k²·m) of
+    rebuilding the table per fault count).  The truncated table prefix after
+    processing every variable is identical — operation for operation — to the
+    table :func:`complete_homogeneous_sum` builds for each smaller fault
+    count, so the per-term floating point results (and therefore the rounded
+    output) are bit-identical to summing :func:`probability_exactly` values.
+
     The subtraction ``1 - Pr(0) - sum Pr(f)`` is carried out in decimal
     arithmetic: the operands are already rounded to ``decimals`` digits, so
     the result is exact and matches the paper's hand computation (Appendix
@@ -149,11 +160,21 @@ def probability_exceeds(
     """
     if reexecutions < 0:
         raise ModelError(f"Number of re-executions must be >= 0, got {reexecutions}")
-    survival = Decimal(repr(probability_no_fault(failure_probabilities, decimals)))
-    for faults in range(1, reexecutions + 1):
-        survival += Decimal(
-            repr(probability_exactly(failure_probabilities, faults, decimals))
-        )
+    no_fault = probability_no_fault(failure_probabilities, decimals)
+    survival = Decimal(repr(no_fault))
+    if reexecutions and failure_probabilities:
+        # table[f] accumulates the complete homogeneous symmetric polynomial
+        # h_f over the variables processed so far (see
+        # complete_homogeneous_sum); one table serves every fault count.
+        table = [0.0] * (reexecutions + 1)
+        table[0] = 1.0
+        for probability in failure_probabilities:
+            for f in range(1, reexecutions + 1):
+                table[f] = table[f] + probability * table[f - 1]
+        for faults in range(1, reexecutions + 1):
+            survival += Decimal(
+                repr(floor_probability(no_fault * table[faults], decimals))
+            )
     return ceil_probability(float(Decimal(1) - survival), decimals)
 
 
@@ -225,6 +246,13 @@ class SFPAnalysis:
     The object is cheap to construct; every query recomputes from the current
     hardening levels of the architecture nodes, so the optimization heuristics
     can mutate hardening in place and re-query.
+
+    When an :class:`~repro.engine.engine.EvaluationEngine` is supplied, the
+    per-node exceedance and the system-failure union are served from its memo
+    tables (keyed by the ordered failure-probability tuples, which canonically
+    encode node type, hardening level and mapped process multiset) — changing
+    one node's hardening or moving one process recomputes only the affected
+    node(s).
     """
 
     def __init__(
@@ -234,12 +262,14 @@ class SFPAnalysis:
         mapping: ProcessMapping,
         profile: ExecutionProfile,
         decimals: int = DEFAULT_DECIMALS,
+        engine: Optional["EvaluationEngine"] = None,
     ) -> None:
         self.application = application
         self.architecture = architecture
         self.mapping = mapping
         self.profile = profile
         self.decimals = decimals
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def node_failure_probabilities(self, node: Node) -> List[float]:
@@ -261,9 +291,12 @@ class SFPAnalysis:
 
     def node_exceedance(self, node: Node, reexecutions: int) -> float:
         """Formula (4): probability node ``Nj`` sees more than ``k_j`` faults."""
-        return probability_exceeds(
-            self.node_failure_probabilities(node), reexecutions, self.decimals
-        )
+        probabilities = self.node_failure_probabilities(node)
+        if self.engine is not None:
+            return self.engine.node_exceedance(
+                tuple(probabilities), reexecutions, self.decimals
+            )
+        return probability_exceeds(probabilities, reexecutions, self.decimals)
 
     def system_failure_per_iteration(self, reexecutions: Mapping[str, int]) -> float:
         """Formula (5) for the whole architecture."""
@@ -271,6 +304,8 @@ class SFPAnalysis:
             self.node_exceedance(node, self._budget_of(node, reexecutions))
             for node in self.architecture
         ]
+        if self.engine is not None:
+            return self.engine.system_failure(tuple(exceedances), self.decimals)
         return system_failure_probability(exceedances, self.decimals)
 
     def evaluate(self, reexecutions: Mapping[str, int]) -> SFPReport:
@@ -279,9 +314,14 @@ class SFPAnalysis:
             node.name: self.node_exceedance(node, self._budget_of(node, reexecutions))
             for node in self.architecture
         }
-        system_per_iteration = system_failure_probability(
-            list(per_node.values()), self.decimals
-        )
+        if self.engine is not None:
+            system_per_iteration = self.engine.system_failure(
+                tuple(per_node.values()), self.decimals
+            )
+        else:
+            system_per_iteration = system_failure_probability(
+                list(per_node.values()), self.decimals
+            )
         reliability = reliability_over_time_unit(
             system_per_iteration,
             self.application.time_unit,

@@ -1,0 +1,29 @@
+"""Memoized incremental evaluation engine for design-space exploration.
+
+See :mod:`repro.engine.engine` for the architecture overview and
+``PERFORMANCE.md`` at the repository root for the caching/invalidation model.
+"""
+
+from repro.engine.cache import CacheStats, MemoCache, MISS
+from repro.engine.engine import EvaluationEngine
+from repro.engine.fingerprint import (
+    application_fingerprint,
+    architecture_fingerprint,
+    context_fingerprint,
+    hardening_fingerprint,
+    mapping_fingerprint,
+    profile_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvaluationEngine",
+    "MemoCache",
+    "MISS",
+    "application_fingerprint",
+    "architecture_fingerprint",
+    "context_fingerprint",
+    "hardening_fingerprint",
+    "mapping_fingerprint",
+    "profile_fingerprint",
+]

@@ -1,0 +1,174 @@
+"""Memoized incremental evaluation engine for the DSE hot path.
+
+One :class:`EvaluationEngine` is bound to a single ``(application, profile)``
+context — the quantities that stay fixed while the design-space exploration
+stack (:class:`~repro.core.design_strategy.DesignStrategy` →
+:class:`~repro.core.mapping.MappingAlgorithm` →
+:class:`~repro.core.redundancy.RedundancyOpt` → SFP /
+:class:`~repro.scheduling.list_scheduler.ListScheduler`) varies architecture,
+mapping and hardening.  The engine owns four memo tables:
+
+``decisions``
+    Full :class:`~repro.core.redundancy.RedundancyDecision` per design point,
+    keyed by (evaluator signature, architecture, mapping, hardening vector).
+    Hits skip the re-execution optimization *and* the list scheduler.
+``optimizations``
+    Outcome of a whole redundancy-optimizer run (Phase 1 + Phase 2, or a
+    fixed-hardening baseline) per (optimizer signature, architecture,
+    mapping).  Hits make revisited tabu-search moves free.
+``exceedance`` / ``no_fault``
+    Per-node SFP quantities keyed by the ordered tuple of per-process failure
+    probabilities (which canonically encodes node type × hardening level ×
+    mapped process multiset) plus the re-execution budget ``k``.  Changing one
+    node's hardening or moving one process only invalidates — by key
+    construction — the affected node(s).
+``system``
+    Formula (5) unions keyed by the ordered per-node exceedance tuple.
+
+All memoized computations are deterministic pure functions of their keys, so
+a warm engine returns bit-identical results to a cold one; this is asserted
+by the equivalence test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.application import Application
+from repro.core.profile import ExecutionProfile
+from repro.core.sfp import (
+    probability_exceeds,
+    probability_no_fault,
+    system_failure_probability,
+)
+from repro.engine.cache import CacheStats, MemoCache
+from repro.engine.fingerprint import context_fingerprint
+from repro.utils.rounding import DEFAULT_DECIMALS
+
+
+class EvaluationEngine:
+    """Memoization context for one (application, profile) exploration.
+
+    The engine is intentionally dumb about *what* it caches: the redundancy
+    and mapping layers build the keys (see :mod:`repro.engine.fingerprint`)
+    and decide what to store.  The engine guarantees bookkeeping (hit/miss
+    counters, evaluation counts) and context safety via :meth:`matches` —
+    a consumer handed an engine for a different application/profile must
+    bypass it.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        profile: ExecutionProfile,
+        decimals: int = DEFAULT_DECIMALS,
+    ) -> None:
+        self.application = application
+        self.profile = profile
+        self.decimals = decimals
+        #: Content hash of the bound context; part of every persisted record.
+        self.context = context_fingerprint(application, profile)
+        self.decisions = MemoCache("decisions")
+        self.optimizations = MemoCache("optimizations")
+        self.exceedance = MemoCache("exceedance")
+        self.no_fault = MemoCache("no_fault")
+        self.system = MemoCache("system_failure")
+        #: Number of design points actually evaluated (decision-cache misses
+        #: that ran the re-execution optimizer + scheduler).
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # context safety
+    # ------------------------------------------------------------------
+    def matches(self, application: Application, profile: ExecutionProfile) -> bool:
+        """Is the engine bound to exactly this (application, profile) pair?
+
+        Identity comparison keeps the check O(1) on the hot path; the content
+        fingerprint exists for diagnostics and persisted artifacts.
+        """
+        return application is self.application and profile is self.profile
+
+    # ------------------------------------------------------------------
+    # incremental SFP layer
+    # ------------------------------------------------------------------
+    def node_no_fault(
+        self, probabilities: Tuple[float, ...], decimals: int
+    ) -> float:
+        """Memoized formula (1) for one node's failure-probability tuple."""
+        return self.no_fault.memoize(
+            (probabilities, decimals),
+            lambda: probability_no_fault(probabilities, decimals),
+        )
+
+    def node_exceedance(
+        self, probabilities: Tuple[float, ...], reexecutions: int, decimals: int
+    ) -> float:
+        """Memoized formula (4) for one node.
+
+        The probability tuple is kept in mapping order (not sorted): the DP
+        accumulates floating-point sums whose last bits depend on the order,
+        and bit-identical results with the unmemoized path are a hard
+        requirement.
+        """
+        return self.exceedance.memoize(
+            (probabilities, reexecutions, decimals),
+            lambda: probability_exceeds(probabilities, reexecutions, decimals),
+        )
+
+    def system_failure(
+        self, exceedances: Tuple[float, ...], decimals: int
+    ) -> float:
+        """Memoized formula (5) for an ordered per-node exceedance tuple."""
+        return self.system.memoize(
+            (exceedances, decimals),
+            lambda: system_failure_probability(exceedances, decimals),
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def caches(self) -> Sequence[MemoCache]:
+        return (
+            self.decisions,
+            self.optimizations,
+            self.exceedance,
+            self.no_fault,
+            self.system,
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate hit/miss counters over all memo tables."""
+        total = CacheStats()
+        for cache in self.caches:
+            total = total + cache.stats
+        return total
+
+    def stats_by_cache(self) -> Dict[str, Dict[str, float]]:
+        return {cache.name: cache.stats.as_dict() for cache in self.caches}
+
+    def report(self) -> Dict[str, object]:
+        """JSON-friendly summary used by the CLI and benchmark artifacts."""
+        total = self.stats
+        return {
+            "context": self.context,
+            "evaluations": self.evaluations,
+            "hits": total.hits,
+            "misses": total.misses,
+            "hit_rate": total.hit_rate,
+            "caches": self.stats_by_cache(),
+        }
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are kept)."""
+        for cache in self.caches:
+            cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        total = self.stats
+        return (
+            f"EvaluationEngine(application={self.application.name!r}, "
+            f"hits={total.hits}, misses={total.misses}, "
+            f"evaluations={self.evaluations})"
+        )

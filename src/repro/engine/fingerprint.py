@@ -1,0 +1,98 @@
+"""Canonical fingerprints of design-point components.
+
+The evaluation engine memoizes design-point evaluations; the cache keys must
+be *canonical* — two logically identical inputs must map to the same key —
+and cheap to compute, because a fingerprint is taken for every evaluated
+design point on the DSE hot path.
+
+Fingerprint contracts:
+
+* A :class:`~repro.core.mapping_model.ProcessMapping` is identified by the
+  sorted ``(process, node)`` pairs — insertion order is irrelevant.
+* An :class:`~repro.core.architecture.Architecture` is identified by the
+  sorted ``(node name, node type name)`` pairs.  The hardening *ladder* of a
+  node type is part of the platform and therefore covered by the engine's
+  context fingerprint, not repeated per design point.  The *current* hardening
+  levels are deliberately excluded: the redundancy heuristics mutate levels
+  while exploring, and the hardening vector is keyed separately.
+* A hardening vector is identified by its sorted ``(node name, level)`` pairs.
+* Application and execution profile are identified by a content hash computed
+  once per engine (they are immutable for the duration of one exploration).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from repro.core.application import Application
+from repro.core.architecture import Architecture
+from repro.core.mapping_model import ProcessMapping
+from repro.core.profile import ExecutionProfile
+
+MappingFingerprint = Tuple[Tuple[str, str], ...]
+HardeningFingerprint = Tuple[Tuple[str, int], ...]
+ArchitectureFingerprint = Tuple[Tuple[str, str], ...]
+
+
+def mapping_fingerprint(mapping: ProcessMapping) -> MappingFingerprint:
+    """Canonical fingerprint of a process-to-node mapping."""
+    return tuple(sorted(mapping.items()))
+
+
+def hardening_fingerprint(hardening: Mapping[str, int]) -> HardeningFingerprint:
+    """Canonical fingerprint of a hardening vector."""
+    return tuple(sorted(hardening.items()))
+
+
+def architecture_fingerprint(architecture: Architecture) -> ArchitectureFingerprint:
+    """Canonical fingerprint of an architecture's node set (levels excluded)."""
+    return tuple(
+        sorted((node.name, node.node_type.name) for node in architecture)
+    )
+
+
+def application_fingerprint(application: Application) -> int:
+    """Content hash of the application's graphs and global parameters."""
+    graphs = []
+    for graph in application.graphs:
+        processes = tuple(sorted(graph.process_names))
+        edges = tuple(
+            sorted(
+                (message.source, message.destination, message.transmission_time)
+                for message in graph.messages
+            )
+        )
+        graphs.append((graph.name, processes, edges))
+    overheads = tuple(
+        sorted(
+            (name, application.recovery_overhead_of(name))
+            for name in application.process_names()
+        )
+    )
+    return hash(
+        (
+            application.name,
+            application.deadline,
+            application.period,
+            application.reliability_goal,
+            application.time_unit,
+            tuple(graphs),
+            overheads,
+        )
+    )
+
+
+def profile_fingerprint(profile: ExecutionProfile) -> int:
+    """Content hash of the execution profile tables."""
+    entries = tuple(
+        sorted(
+            (key, entry.wcet, entry.failure_probability)
+            for key, entry in profile.entries().items()
+        )
+    )
+    return hash(entries)
+
+
+def context_fingerprint(application: Application, profile: ExecutionProfile) -> int:
+    """Combined content hash identifying one (application, profile) context."""
+    return hash((application_fingerprint(application), profile_fingerprint(profile)))

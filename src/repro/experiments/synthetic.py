@@ -20,6 +20,7 @@ preserved by the scaled-down preset and asserted in the integration tests.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.core.baselines import (
 from repro.core.evaluation import DesignResult
 from repro.core.fault_model import SER_HIGH, SER_LOW, SER_MEDIUM
 from repro.core.mapping import MappingAlgorithm
+from repro.engine import EvaluationEngine
 from repro.experiments.results import format_table
 from repro.generator.benchmark import (
     BenchmarkConfig,
@@ -140,6 +142,65 @@ class SettingResult:
             return float("inf")
         return sum(costs) / len(costs)
 
+    def cache_summary(self) -> Dict[str, float]:
+        """Aggregate engine counters over all strategies/applications.
+
+        ``search_evaluations`` counts design points *examined* by the tabu
+        searches (identical with or without caching); ``points_computed``
+        counts points actually evaluated — decision-cache misses that ran
+        the re-execution optimizer and the scheduler.
+        """
+        hits = misses = search_evaluations = points_computed = 0
+        for results in self.results.values():
+            for result in results:
+                hits += result.cache_hits
+                misses += result.cache_misses
+                search_evaluations += result.evaluations
+                points_computed += result.points_computed
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "search_evaluations": search_evaluations,
+            "points_computed": points_computed,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+
+def _evaluate_benchmark_setting(
+    benchmark: SyntheticBenchmark,
+    ser: float,
+    hpd: float,
+    preset: ExperimentPreset,
+    strategies: Tuple[str, ...],
+) -> Dict[str, DesignResult]:
+    """Run the requested strategies for one application at one setting.
+
+    Module-level (not a method) so the parallel sweep can ship it to worker
+    processes.  All strategies share one :class:`EvaluationEngine` bound to
+    the benchmark's (application, profile): design points evaluated by MIN
+    (all-minimum hardening, which OPT's Phase 1 always evaluates first) or
+    MAX are free for OPT and vice versa.
+    """
+    node_types, profile = build_platform(
+        benchmark,
+        ser_per_cycle=ser,
+        hardening_performance_degradation=hpd,
+    )
+    engine = EvaluationEngine(benchmark.application, profile)
+    algorithm = preset.mapping_algorithm()
+    builders = {
+        "MIN": min_hardening_strategy,
+        "MAX": max_hardening_strategy,
+        "OPT": optimized_strategy,
+    }
+    return {
+        name: builders[name](node_types, algorithm).explore(
+            benchmark.application, profile, engine=engine
+        )
+        for name in strategies
+    }
+
 
 class AcceptanceExperiment:
     """Run MIN / MAX / OPT over a suite of synthetic benchmarks.
@@ -148,6 +209,15 @@ class AcceptanceExperiment:
     technology setting — is decoupled from the cheap part — counting
     acceptance under different cost caps — exactly because the paper sweeps
     ArC without re-running the optimization.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of worker processes for the per-application loop.  ``None`` or
+        ``1`` runs serially (the default — the memoized engine already makes
+        the sweep fast on one core); ``0`` uses one worker per CPU.  Results
+        are deterministic and identical regardless of ``n_jobs`` because each
+        application is evaluated independently and collected in order.
     """
 
     def __init__(
@@ -155,12 +225,16 @@ class AcceptanceExperiment:
         preset: Optional[ExperimentPreset] = None,
         benchmarks: Optional[Sequence[SyntheticBenchmark]] = None,
         strategies: Sequence[str] = STRATEGIES,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.preset = preset if preset is not None else ExperimentPreset.fast()
         unknown = set(strategies) - set(STRATEGIES)
         if unknown:
             raise ValueError(f"Unknown strategies requested: {sorted(unknown)}")
         self.strategies = tuple(strategies)
+        if n_jobs is not None and n_jobs < 0:
+            raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+        self.n_jobs = n_jobs
         if benchmarks is not None:
             self.benchmarks = list(benchmarks)
         else:
@@ -179,29 +253,52 @@ class AcceptanceExperiment:
         if key in self._cache:
             return self._cache[key]
         setting = SettingResult(ser=ser, hpd=hpd, results={name: [] for name in self.strategies})
-        for benchmark in self.benchmarks:
-            node_types, profile = build_platform(
-                benchmark,
-                ser_per_cycle=ser,
-                hardening_performance_degradation=hpd,
-            )
-            strategy_objects = self._build_strategies(node_types)
+        if self.n_jobs is None or self.n_jobs == 1:
+            per_benchmark = [
+                _evaluate_benchmark_setting(
+                    benchmark, ser, hpd, self.preset, self.strategies
+                )
+                for benchmark in self.benchmarks
+            ]
+        else:
+            max_workers = self.n_jobs if self.n_jobs else None
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                per_benchmark = list(
+                    pool.map(
+                        _evaluate_benchmark_setting,
+                        self.benchmarks,
+                        [ser] * len(self.benchmarks),
+                        [hpd] * len(self.benchmarks),
+                        [self.preset] * len(self.benchmarks),
+                        [self.strategies] * len(self.benchmarks),
+                    )
+                )
+        for results in per_benchmark:
             for name in self.strategies:
-                result = strategy_objects[name].explore(benchmark.application, profile)
-                setting.results[name].append(result)
+                setting.results[name].append(results[name])
         self._cache[key] = setting
         return setting
 
-    def _build_strategies(self, node_types) -> Dict[str, object]:
-        algorithm = self.preset.mapping_algorithm()
-        strategies: Dict[str, object] = {}
-        if "MIN" in self.strategies:
-            strategies["MIN"] = min_hardening_strategy(node_types, algorithm)
-        if "MAX" in self.strategies:
-            strategies["MAX"] = max_hardening_strategy(node_types, algorithm)
-        if "OPT" in self.strategies:
-            strategies["OPT"] = optimized_strategy(node_types, algorithm)
-        return strategies
+    def cache_report(self) -> Dict[str, float]:
+        """Aggregate engine counters over every setting run so far.
+
+        See :meth:`SettingResult.cache_summary` for the field semantics.
+        """
+        hits = misses = search_evaluations = points_computed = 0
+        for setting in self._cache.values():
+            summary = setting.cache_summary()
+            hits += summary["hits"]
+            misses += summary["misses"]
+            search_evaluations += summary["search_evaluations"]
+            points_computed += summary["points_computed"]
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "search_evaluations": search_evaluations,
+            "points_computed": points_computed,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
 
     # ------------------------------------------------------------------
     def hpd_sweep(

@@ -23,7 +23,7 @@ heuristic, which compares schedule lengths across small perturbations).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.comm.bus import Bus, SimpleBus
 from repro.core.application import Application
@@ -54,6 +54,56 @@ class ListScheduler:
     def __init__(self, bus: Optional[Bus] = None, slack_sharing: bool = True) -> None:
         self.bus = bus if bus is not None else SimpleBus()
         self.slack_sharing = slack_sharing
+        # One-slot memo of the application's static structure (scheduling
+        # layers and per-process incoming messages).  The DSE stack schedules
+        # the same application thousands of times in a row.  The memo holds a
+        # strong reference to the application (so a recycled object address
+        # can never alias a dead one) and re-derives when the identity or the
+        # graph sizes change.
+        self._structure_app: Optional[Application] = None
+        self._structure_guard: Optional[Tuple[int, int]] = None
+        self._structure: Optional[
+            Tuple[List[List[str]], Dict[str, List]]
+        ] = None
+
+    def _application_structure(
+        self, application: Application
+    ) -> Tuple[List[List[str]], Dict[str, List]]:
+        """Static scheduling structure: (layers, incoming messages).
+
+        ``layers`` concatenates the topological generations of every task
+        graph: all processes of layer ``i`` have their predecessors in layers
+        ``< i``, which is exactly the set the ready-list loop would discover
+        batch by batch — but precomputed once instead of rescanned per call.
+        """
+        guard = (
+            application.number_of_processes(),
+            len(application.messages()),
+        )
+        if (
+            self._structure_app is not application
+            or self._structure_guard != guard
+            or self._structure is None
+        ):
+            graph_generations = [
+                graph.topological_generations() for graph in application.graphs
+            ]
+            depth = max((len(g) for g in graph_generations), default=0)
+            layers: List[List[str]] = []
+            for level in range(depth):
+                layer: List[str] = []
+                for generations in graph_generations:
+                    if level < len(generations):
+                        layer.extend(generations[level])
+                layers.append(layer)
+            incoming: Dict[str, List] = {}
+            for graph in application.graphs:
+                for process in graph.process_names:
+                    incoming[process] = graph.incoming_messages(process)
+            self._structure = (layers, incoming)
+            self._structure_app = application
+            self._structure_guard = guard
+        return self._structure
 
     # ------------------------------------------------------------------
     def schedule(
@@ -91,36 +141,26 @@ class ListScheduler:
         node_free: Dict[str, float] = {node.name: 0.0 for node in architecture}
         self.bus.reset()
 
-        remaining: Set[str] = set(application.process_names())
-        # Predecessor map across all graphs for readiness checks.
-        predecessors: Dict[str, List[str]] = {}
-        graph_of: Dict[str, str] = {}
-        for graph in application.graphs:
-            for process in graph.process_names:
-                predecessors[process] = graph.predecessors(process)
-                graph_of[process] = graph.name
-
-        progress_guard = 0
-        limit = len(remaining) + 1
-        while remaining:
-            ready = [
-                process
-                for process in remaining
-                if all(pred in scheduled for pred in predecessors[process])
-            ]
-            if not ready:
-                raise SchedulingError(
-                    "No ready process found while tasks remain; the task graphs "
-                    "are inconsistent (this should be prevented by the acyclicity "
-                    "check at construction time)"
-                )
-            ready.sort(key=lambda process: (-priorities[process], process))
-            for process in ready:
+        # Scheduling layers and incoming-message table are static per
+        # application and memoized: each layer is exactly the ready set the
+        # original ready-list loop would discover, so placing the layers in
+        # (-priority, name) order reproduces the original schedule.
+        layers, incoming = self._application_structure(application)
+        # Per-call node view: (name, wcet lookup key) resolved once per node
+        # instead of re-deriving type/hardening for each placed process.
+        node_info: Dict[str, Tuple[str, str, int]] = {
+            node.name: (node.name, node.node_type.name, node.hardening)
+            for node in architecture
+        }
+        node_of = mapping.node_of
+        for layer in layers:
+            for process in sorted(
+                layer, key=lambda process: (-priorities[process], process)
+            ):
                 entry, new_messages = self._place_process(
                     process,
-                    application,
-                    architecture,
-                    mapping,
+                    incoming[process],
+                    node_info[node_of(process)],
                     profile,
                     scheduled,
                     node_free,
@@ -128,10 +168,6 @@ class ListScheduler:
                 scheduled[process] = entry
                 scheduled_messages.extend(new_messages)
                 node_free[entry.node] = entry.finish
-                remaining.discard(process)
-            progress_guard += 1
-            if progress_guard > limit:  # pragma: no cover - defensive
-                raise SchedulingError("List scheduler failed to make progress")
 
         slack = self._recovery_slack(
             application, architecture, mapping, profile, budgets
@@ -148,21 +184,19 @@ class ListScheduler:
     def _place_process(
         self,
         process: str,
-        application: Application,
-        architecture: Architecture,
-        mapping: ProcessMapping,
+        incoming_messages: List,
+        node_info: Tuple[str, str, int],
         profile: ExecutionProfile,
         scheduled: Dict[str, ScheduledProcess],
         node_free: Dict[str, float],
     ) -> Tuple[ScheduledProcess, List[ScheduledMessage]]:
         """Compute the execution window of ``process`` and its input messages."""
-        graph = application.graph_of(process)
-        node = architecture.node(mapping.node_of(process))
-        earliest = node_free[node.name]
+        node_name, type_name, hardening = node_info
+        earliest = node_free[node_name]
         new_messages: List[ScheduledMessage] = []
-        for message in graph.incoming_messages(process):
+        for message in incoming_messages:
             producer_entry = scheduled[message.source]
-            if producer_entry.node == node.name:
+            if producer_entry.node == node_name:
                 # Intra-node communication happens through local memory and is
                 # available as soon as the producer finishes.
                 earliest = max(earliest, producer_entry.finish)
@@ -179,15 +213,15 @@ class ListScheduler:
                     source_process=message.source,
                     destination_process=message.destination,
                     source_node=producer_entry.node,
-                    destination_node=node.name,
+                    destination_node=node_name,
                     start=reservation.start,
                     finish=reservation.finish,
                 )
             )
             earliest = max(earliest, reservation.finish)
-        wcet = profile.wcet_on_node(process, node)
+        wcet = profile.wcet(process, type_name, hardening)
         entry = ScheduledProcess(
-            process=process, node=node.name, start=earliest, finish=earliest + wcet
+            process=process, node=node_name, start=earliest, finish=earliest + wcet
         )
         return entry, new_messages
 
@@ -202,10 +236,13 @@ class ListScheduler:
         """Recovery slack reserved at the end of each node's schedule."""
         slack: Dict[str, float] = {}
         slack_function = shared_recovery_slack if self.slack_sharing else naive_recovery_slack
+        wcet = profile.wcet
         for node in architecture:
+            type_name = node.node_type.name
+            hardening = node.hardening
             pairs = [
                 (
-                    profile.wcet_on_node(process, node),
+                    wcet(process, type_name, hardening),
                     application.recovery_overhead_of(process),
                 )
                 for process in mapping.processes_on(node.name)

@@ -41,16 +41,27 @@ def critical_path_priorities(
     scheduled earlier among ready processes.
     """
     priorities: Dict[str, float] = {}
+    node_of = mapping.node_of
+    wcet = profile.wcet
+    # (type name, hardening) per node, resolved once instead of per process.
+    node_key = {
+        node.name: (node.node_type.name, node.hardening) for node in architecture
+    }
     for graph in application.graphs:
+        successor_map = graph.adjacency_maps()[1]
+        message_between = graph.message_between
         for process_name in reversed(graph.topological_order()):
-            own_time = mapped_execution_time(process_name, architecture, mapping, profile)
-            own_node = mapping.node_of(process_name)
+            own_node = node_of(process_name)
+            type_name, hardening = node_key[own_node]
+            own_time = wcet(process_name, type_name, hardening)
             best_tail = 0.0
-            for successor in graph.successors(process_name):
+            for successor in successor_map[process_name]:
                 tail = priorities[successor]
-                message = graph.message_between(process_name, successor)
-                if message is not None and mapping.node_of(successor) != own_node:
-                    tail += message.transmission_time
-                best_tail = max(best_tail, tail)
+                if node_of(successor) != own_node:
+                    message = message_between(process_name, successor)
+                    if message is not None:
+                        tail += message.transmission_time
+                if tail > best_tail:
+                    best_tail = tail
             priorities[process_name] = own_time + best_tail
     return priorities

@@ -70,6 +70,21 @@ class Schedule:
         self.node_recovery_slack = dict(node_recovery_slack)
         self.reexecutions = dict(reexecutions)
         self.hardening = dict(hardening)
+        # Lazy derived tables.  A Schedule is immutable after construction
+        # (the heuristics only read it), so the per-node grouping and the
+        # worst-case length are computed once on first query.
+        self._by_node: Optional[Dict[str, List[ScheduledProcess]]] = None
+        self._length: Optional[float] = None
+
+    def _node_table(self) -> Dict[str, List[ScheduledProcess]]:
+        if self._by_node is None:
+            table: Dict[str, List[ScheduledProcess]] = {}
+            for entry in self._processes.values():
+                table.setdefault(entry.node, []).append(entry)
+            for entries in table.values():
+                entries.sort(key=lambda entry: entry.start)
+            self._by_node = table
+        return self._by_node
 
     # ------------------------------------------------------------------
     # queries
@@ -99,16 +114,10 @@ class Schedule:
 
     def processes_on(self, node: str) -> List[ScheduledProcess]:
         """Processes executing on ``node``, ordered by start time."""
-        return sorted(
-            (entry for entry in self._processes.values() if entry.node == node),
-            key=lambda entry: entry.start,
-        )
+        return list(self._node_table().get(node, ()))
 
     def nodes(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for entry in self._processes.values():
-            seen.setdefault(entry.node, None)
-        return list(seen)
+        return list(self._node_table())
 
     # ------------------------------------------------------------------
     # lengths
@@ -134,9 +143,15 @@ class Schedule:
     @property
     def length(self) -> float:
         """Worst-case schedule length ``SL`` compared against the deadline."""
-        node_lengths = [self.worst_case_node_completion(node) for node in self.nodes()]
-        message_finish = max((entry.finish for entry in self._messages.values()), default=0.0)
-        return max(node_lengths + [message_finish], default=0.0)
+        if self._length is None:
+            node_lengths = [
+                self.worst_case_node_completion(node) for node in self.nodes()
+            ]
+            message_finish = max(
+                (entry.finish for entry in self._messages.values()), default=0.0
+            )
+            self._length = max(node_lengths + [message_finish], default=0.0)
+        return self._length
 
     def meets_deadline(self, deadline: float) -> bool:
         return self.length <= deadline

@@ -1,0 +1,120 @@
+"""Cache-equivalence guarantees of the evaluation engine.
+
+The engine's whole contract is "same results, less work": a warm cache, a
+cold cache and no cache at all must produce bit-identical designs for every
+strategy.  These tests drive the full DSE stack over several generated
+applications and compare every semantic field of the resulting
+:class:`DesignResult`s (cache counters are bookkeeping, not semantics, and
+are excluded from ``DesignResult`` equality by construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    max_hardening_strategy,
+    min_hardening_strategy,
+    optimized_strategy,
+)
+from repro.core.fault_model import SER_MEDIUM
+from repro.core.mapping import MappingAlgorithm
+from repro.engine import EvaluationEngine
+from repro.generator.benchmark import (
+    BenchmarkConfig,
+    build_platform,
+    generate_benchmark_suite,
+)
+
+STRATEGY_BUILDERS = {
+    "MIN": min_hardening_strategy,
+    "MAX": max_hardening_strategy,
+    "OPT": optimized_strategy,
+}
+
+
+def _algorithm() -> MappingAlgorithm:
+    return MappingAlgorithm(
+        max_iterations=3, stop_after_no_improvement=2, max_candidates=2
+    )
+
+
+def _semantic_fields(result):
+    return {
+        "strategy": result.strategy,
+        "application": result.application,
+        "feasible": result.feasible,
+        "node_types": result.node_types,
+        "hardening": result.hardening,
+        "reexecutions": result.reexecutions,
+        "mapping": result.mapping.as_dict() if result.mapping is not None else None,
+        "schedule_length": result.schedule_length,
+        "deadline": result.deadline,
+        "cost": result.cost,
+        "meets_reliability": result.meets_reliability,
+        "failure_reason": result.failure_reason,
+        "evaluations": result.evaluations,
+    }
+
+
+@pytest.fixture(scope="module", params=[1, 17, 4242])
+def platform(request):
+    benchmark = generate_benchmark_suite(
+        count=1,
+        base_seed=request.param,
+        config=BenchmarkConfig(n_node_types=3),
+        process_counts=(12,),
+    )[0]
+    node_types, profile = build_platform(
+        benchmark, ser_per_cycle=SER_MEDIUM, hardening_performance_degradation=25.0
+    )
+    return benchmark.application, node_types, profile
+
+
+@pytest.mark.parametrize("strategy_name", ["MIN", "MAX", "OPT"])
+class TestColdWarmEquivalence:
+    def test_cold_vs_warm_engine_is_bit_identical(self, platform, strategy_name):
+        application, node_types, profile = platform
+        strategy = STRATEGY_BUILDERS[strategy_name](node_types, _algorithm())
+        engine = EvaluationEngine(application, profile)
+        cold = strategy.explore(application, profile, engine=engine)
+        assert engine.stats.misses > 0
+        warm = strategy.explore(application, profile, engine=engine)
+        assert _semantic_fields(cold) == _semantic_fields(warm)
+        # The warm pass re-resolves every design point from cache.
+        assert warm.cache_hits > 0
+        assert warm.cache_hit_rate > cold.cache_hit_rate
+
+    def test_engine_vs_no_engine_is_bit_identical(self, platform, strategy_name):
+        application, node_types, profile = platform
+        cached_strategy = STRATEGY_BUILDERS[strategy_name](node_types, _algorithm())
+        uncached_strategy = STRATEGY_BUILDERS[strategy_name](node_types, _algorithm())
+        uncached_strategy.use_engine = False
+        cached = cached_strategy.explore(application, profile)
+        uncached = uncached_strategy.explore(application, profile)
+        assert _semantic_fields(cached) == _semantic_fields(uncached)
+        assert uncached.cache_hits == 0
+        assert uncached.cache_misses == 0
+
+
+def test_shared_engine_across_strategies_is_bit_identical(platform):
+    """MIN/MAX/OPT sharing one engine must match per-strategy engines."""
+    application, node_types, profile = platform
+    shared_engine = EvaluationEngine(application, profile)
+    shared, isolated = {}, {}
+    for name, builder in STRATEGY_BUILDERS.items():
+        shared[name] = builder(node_types, _algorithm()).explore(
+            application, profile, engine=shared_engine
+        )
+    for name, builder in STRATEGY_BUILDERS.items():
+        isolated[name] = builder(node_types, _algorithm()).explore(application, profile)
+    for name in STRATEGY_BUILDERS:
+        assert _semantic_fields(shared[name]) == _semantic_fields(isolated[name])
+
+
+def test_design_result_reports_nonzero_cache_activity(platform):
+    application, node_types, profile = platform
+    result = STRATEGY_BUILDERS["OPT"](node_types, _algorithm()).explore(
+        application, profile
+    )
+    assert result.cache_hits + result.cache_misses > 0
