@@ -1,9 +1,15 @@
 #!/usr/bin/env python
-"""Benchmark smoke run: fast-preset Fig. 6a sweep with the evaluation engine.
+"""Benchmark smoke run: fast-preset Fig. 6a sweep, per SFP kernel backend.
 
-Writes a JSON timing artifact (wall clock, cache counters, acceptance
-percentages) used by CI for trajectory tracking.  Run from the repository
-root:
+For every registered (available) kernel backend the sweep is rerun on a
+fresh engine and timed; acceptance percentages must agree bit for bit across
+backends (they are required to be bit-identical — a disagreement fails the
+run).  A kernel microbenchmark times the raw SFP primitives, and a
+cold-vs-warm pass against a throwaway persistent design-point store records
+what a second CLI run of the same sweep saves.
+
+Writes a JSON timing artifact used by CI for trajectory tracking.  Run from
+the repository root:
 
     PYTHONPATH=src python scripts/bench_engine.py --output BENCH_engine.json
 """
@@ -13,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -22,6 +29,57 @@ from repro.experiments.synthetic import (
     ExperimentPreset,
     PAPER_HPD_VALUES,
 )
+from repro.kernels import get_kernel, kernel_names, set_default_kernel
+
+#: Representative node workloads for the kernel microbenchmark: (per-process
+#: failure probabilities, re-execution budget).
+MICRO_CASES = (
+    ((1.2e-5, 1.3e-5, 1.4e-5), 2),
+    ((3.1e-7, 2.9e-7, 8.8e-8, 4.0e-7, 1.1e-7), 4),
+    ((2.0e-9,) * 10, 6),
+)
+MICRO_ROUNDS = 2000
+
+
+def _run_sweep(preset: ExperimentPreset, kernel_name: str, store_dir=None):
+    """One full Fig. 6a sweep on a fresh experiment; returns timing payload."""
+    set_default_kernel(kernel_name)
+    try:
+        experiment = AcceptanceExperiment(preset=preset, store_dir=store_dir)
+        start = time.perf_counter()
+        sweep = experiment.hpd_sweep(
+            ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, max_cost=20.0
+        )
+        wall_clock = time.perf_counter() - start
+    finally:
+        set_default_kernel(None)
+    return {
+        "wall_clock_seconds": round(wall_clock, 3),
+        "cache": experiment.cache_report(),
+        "acceptance": {f"{hpd:g}": values for hpd, values in sweep.items()},
+    }
+
+
+def _microbench(kernel_name: str) -> dict:
+    """Raw primitive throughput (µs/op) outside the engine's memo tables."""
+    kernel = get_kernel(kernel_name)
+    start = time.perf_counter()
+    for _ in range(MICRO_ROUNDS):
+        for probabilities, budget in MICRO_CASES:
+            kernel.probability_exceeds(probabilities, budget)
+    exceeds_us = (time.perf_counter() - start) / (MICRO_ROUNDS * len(MICRO_CASES)) * 1e6
+    exceedances = tuple(
+        kernel.probability_exceeds(probabilities, budget)
+        for probabilities, budget in MICRO_CASES
+    )
+    start = time.perf_counter()
+    for _ in range(MICRO_ROUNDS):
+        kernel.system_failure(exceedances)
+    union_us = (time.perf_counter() - start) / MICRO_ROUNDS * 1e6
+    return {
+        "probability_exceeds_us": round(exceeds_us, 2),
+        "system_failure_us": round(union_us, 2),
+    }
 
 
 def main() -> int:
@@ -44,20 +102,52 @@ def main() -> int:
         "smoke": ExperimentPreset.smoke,
         "fast": ExperimentPreset.fast,
     }[arguments.preset]()
-    experiment = AcceptanceExperiment(preset=preset)
 
-    start = time.perf_counter()
-    sweep = experiment.hpd_sweep(
-        ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, max_cost=20.0
-    )
-    wall_clock = time.perf_counter() - start
-    cache = experiment.cache_report()
+    names = kernel_names(available_only=True)
+    kernels = {}
+    for name in names:
+        run = _run_sweep(preset, name)
+        run["micro"] = _microbench(name)
+        kernels[name] = run
 
+    errors = []
+    reference_run = kernels.get("reference")
+    for name, run in kernels.items():
+        if reference_run is not None and run["acceptance"] != reference_run["acceptance"]:
+            errors.append(f"kernel {name} acceptance differs from reference")
+        if run["cache"]["hits"] == 0:
+            errors.append(f"kernel {name} reported zero cache hits")
+        if reference_run is not None and reference_run["wall_clock_seconds"]:
+            run["speedup_vs_reference"] = round(
+                reference_run["wall_clock_seconds"] / run["wall_clock_seconds"], 3
+            )
+
+    # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
+        cold = _run_sweep(preset, names[0], store_dir=Path(store_dir))
+        warm = _run_sweep(preset, names[0], store_dir=Path(store_dir))
+    if warm["acceptance"] != kernels[names[0]]["acceptance"]:
+        errors.append("warm persistent-store run changed acceptance output")
+    if warm["cache"]["disk_hits"] == 0:
+        errors.append("warm persistent-store run reported zero disk hits")
+    store_report = {
+        "cold_wall_clock_seconds": cold["wall_clock_seconds"],
+        "warm_wall_clock_seconds": warm["wall_clock_seconds"],
+        "warm_disk_hits": warm["cache"]["disk_hits"],
+        "warm_entries_loaded": warm["cache"]["disk_entries_loaded"],
+        "warm_points_computed": warm["cache"]["points_computed"],
+    }
+
+    fastest = kernels[names[0]]
     payload = {
         "benchmark": f"fig6a_hpd_sweep_{arguments.preset}",
-        "wall_clock_seconds": round(wall_clock, 3),
-        "cache": cache,
-        "acceptance": {f"{hpd:g}": values for hpd, values in sweep.items()},
+        # Backwards-compatible top-level fields: the auto-selected kernel.
+        "kernel": names[0],
+        "wall_clock_seconds": fastest["wall_clock_seconds"],
+        "cache": fastest["cache"],
+        "acceptance": fastest["acceptance"],
+        "kernels": kernels,
+        "persistent_store": store_report,
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
@@ -65,10 +155,9 @@ def main() -> int:
 
     print(json.dumps(payload, indent=2))
     print(f"\nartifact written to {arguments.output}")
-    if cache["hits"] == 0:
-        print("ERROR: engine reported zero cache hits")
-        return 1
-    return 0
+    for error in errors:
+        print(f"ERROR: {error}")
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

@@ -20,11 +20,13 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.engine.store import DEFAULT_MAX_BYTES
 from repro.experiments.motivational import (
     appendix_sfp_example,
     evaluate_fig3_alternatives,
     evaluate_fig4_alternatives,
 )
+from repro.kernels import AUTO, active_kernel, kernel_names, set_default_kernel
 from repro.experiments.results import format_table
 from repro.experiments.synthetic import (
     AcceptanceExperiment,
@@ -46,6 +48,21 @@ def _job_count(value: str) -> int:
             f"must be >= 0 (1 = serial, 0 = one per CPU), got {jobs}"
         )
     return jobs
+
+
+def _cache_size(value: str) -> int:
+    size = int(value)
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (MiB), got {size}")
+    return size
+
+
+def _apply_kernel_choice(arguments: argparse.Namespace) -> str:
+    """Apply ``--sfp-kernel`` (if given) and return the active backend name."""
+    choice = getattr(arguments, "sfp_kernel", None)
+    if choice is not None:
+        return set_default_kernel(choice).name
+    return active_kernel().name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +105,25 @@ def build_parser() -> argparse.ArgumentParser:
             "(1 = serial, 0 = one per CPU)"
         ),
     )
+    synthetic.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory of the persistent design-point cache; warm-starts "
+            "repeated runs of the same sweep (results are bit-identical "
+            "with or without it)"
+        ),
+    )
+    synthetic.add_argument(
+        "--cache-size-mb",
+        type=_cache_size,
+        default=DEFAULT_MAX_BYTES // (1024 * 1024),
+        help=(
+            "size cap of the persistent cache directory in MiB; "
+            "least-recently-used entries are evicted beyond it"
+        ),
+    )
     synthetic.set_defaults(handler=_run_synthetic)
 
     cruise = subparsers.add_parser(
@@ -101,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
             type=Path,
             default=None,
             help="optional path to also write the results as JSON",
+        )
+        sub.add_argument(
+            "--sfp-kernel",
+            choices=[AUTO] + kernel_names(),
+            default=None,
+            help=(
+                "SFP kernel backend (default: REPRO_SFP_KERNEL env var or "
+                "the fastest available); all backends are bit-identical, "
+                "this is a speed knob only"
+            ),
         )
     return parser
 
@@ -116,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # Sub-command handlers
 # ----------------------------------------------------------------------
 def _run_motivational(arguments: argparse.Namespace) -> int:
+    _apply_kernel_choice(arguments)
     fig3 = evaluate_fig3_alternatives()
     fig3_rows = [
         [
@@ -171,12 +218,18 @@ def _run_motivational(arguments: argparse.Namespace) -> int:
 
 
 def _run_synthetic(arguments: argparse.Namespace) -> int:
+    kernel_name = _apply_kernel_choice(arguments)
     preset = {
         "smoke": ExperimentPreset.smoke,
         "fast": ExperimentPreset.fast,
         "paper": ExperimentPreset.paper,
     }[arguments.preset]()
-    experiment = AcceptanceExperiment(preset=preset, n_jobs=arguments.jobs)
+    experiment = AcceptanceExperiment(
+        preset=preset,
+        n_jobs=arguments.jobs,
+        store_dir=arguments.cache_dir,
+        store_max_bytes=arguments.cache_size_mb * 1024 * 1024,
+    )
     payload = {}
     figures = (
         ["6a", "6b", "6c", "6d"] if arguments.figure == "all" else [arguments.figure]
@@ -201,18 +254,26 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
         print()
     cache = experiment.cache_report()
     print(
-        "evaluation engine: "
+        f"evaluation engine ({kernel_name} kernel): "
         f"{cache['points_computed']} design points computed "
         f"({cache['search_evaluations']} mapping evaluations), "
         f"{cache['hits']} cache hits / {cache['misses']} misses "
         f"(hit rate {cache['hit_rate'] * 100.0:.1f}%)"
     )
+    if arguments.cache_dir is not None:
+        print(
+            f"persistent store ({arguments.cache_dir}): "
+            f"{cache['disk_entries_loaded']} entries warm-loaded, "
+            f"{cache['disk_hits']} disk-cache hits"
+        )
+    cache["kernel"] = kernel_name
     payload["cache"] = cache
     _maybe_write_json(arguments, payload)
     return 0
 
 
 def _run_cruise_control(arguments: argparse.Namespace) -> int:
+    _apply_kernel_choice(arguments)
     study = run_cruise_controller_study()
     rows = []
     for strategy, outcome in study.outcomes.items():

@@ -23,12 +23,8 @@ from repro.core.application import Application
 from repro.core.architecture import Architecture
 from repro.core.mapping_model import ProcessMapping
 from repro.core.profile import ExecutionProfile
-from repro.core.sfp import (
-    SFPAnalysis,
-    probability_exceeds,
-    reliability_over_time_unit,
-    system_failure_probability,
-)
+from repro.core.sfp import KernelSpec, SFPAnalysis, reliability_over_time_unit
+from repro.kernels.registry import resolve_kernel
 from repro.utils.rounding import DEFAULT_DECIMALS
 
 
@@ -64,6 +60,9 @@ class ReExecutionOpt:
         re-queries the same (node, budget) exceedances on every iteration, so
         memoization removes most of the Decimal-chain recomputation.  Results
         are bit-identical with and without an engine.
+    kernel:
+        SFP kernel backend for the unmemoized path (an engine brings its
+        own); a speed knob only, every backend is bit-identical.
     """
 
     def __init__(
@@ -71,6 +70,7 @@ class ReExecutionOpt:
         max_reexecutions_per_node: int = 20,
         decimals: int = DEFAULT_DECIMALS,
         engine: Optional["EvaluationEngine"] = None,
+        kernel: KernelSpec = None,
     ) -> None:
         if max_reexecutions_per_node < 0:
             raise ValueError(
@@ -80,6 +80,7 @@ class ReExecutionOpt:
         self.max_reexecutions_per_node = max_reexecutions_per_node
         self.decimals = decimals
         self.engine = engine
+        self.kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------
     def optimize(
@@ -97,7 +98,7 @@ class ReExecutionOpt:
         engine = self.engine
         analysis = SFPAnalysis(
             application, architecture, mapping, profile, decimals=self.decimals,
-            engine=engine,
+            engine=engine, kernel=self.kernel,
         )
         node_names = [node.name for node in architecture]
         # Ordered tuples: the DP sums are order-sensitive in their last bits,
@@ -107,15 +108,17 @@ class ReExecutionOpt:
             for node in architecture
         }
 
+        kernel = self.kernel
+
         def node_exceedance(name: str, budget: int) -> float:
             if engine is not None:
                 return engine.node_exceedance(probabilities[name], budget, self.decimals)
-            return probability_exceeds(probabilities[name], budget, self.decimals)
+            return kernel.probability_exceeds(probabilities[name], budget, self.decimals)
 
         def union_failure(values: Tuple[float, ...]) -> float:
             if engine is not None:
                 return engine.system_failure(values, self.decimals)
-            return system_failure_probability(values, self.decimals)
+            return kernel.system_failure(values, self.decimals)
 
         budgets: Dict[str, int] = {name: 0 for name in node_names}
         exceedance: Dict[str, float] = {
@@ -183,7 +186,7 @@ class ReExecutionOpt:
         """Evaluate a user-supplied assignment without optimizing it."""
         analysis = SFPAnalysis(
             application, architecture, mapping, profile, decimals=self.decimals,
-            engine=self.engine,
+            engine=self.engine, kernel=self.kernel,
         )
         report = analysis.evaluate(reexecutions)
         return ReExecutionDecision(

@@ -35,15 +35,23 @@ All intermediate *success* probabilities are rounded **down** and all
 *failure* probabilities are rounded **up** at a configurable accuracy
 (1e-11 in the paper) so the analysis stays pessimistic; see
 :mod:`repro.utils.rounding`.
+
+The three hot primitives — formulae (1), (4) and (5) — are served by a
+pluggable *kernel backend* (:mod:`repro.kernels`): the module-level functions
+below delegate to the active backend (``--sfp-kernel`` /
+``REPRO_SFP_KERNEL`` / fastest available), every backend being bit-identical
+to the pure-Python reference by contract.  The combinatorial helpers
+(:func:`complete_homogeneous_sum`, :func:`enumerate_fault_scenarios`,
+:func:`probability_exactly`) stay here as the test-suite's independent
+specification of the DP.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from decimal import Decimal
 from itertools import combinations_with_replacement
 from math import prod
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports sfp)
     from repro.engine.engine import EvaluationEngine
@@ -53,8 +61,14 @@ from repro.core.architecture import Architecture, Node
 from repro.core.exceptions import ModelError
 from repro.core.mapping_model import ProcessMapping
 from repro.core.profile import ExecutionProfile
-from repro.utils.rounding import DEFAULT_DECIMALS, ceil_probability, floor_probability
+from repro.kernels.base import SFPKernel
+from repro.kernels.registry import resolve_kernel
+from repro.utils.rounding import DEFAULT_DECIMALS, floor_probability
 from repro.utils.validation import require_in_unit_interval, require_positive
+
+#: Accepted by every ``kernel`` parameter: a backend instance, a registered
+#: backend name, or ``None`` for the process-wide active backend.
+KernelSpec = Union[SFPKernel, str, None]
 
 
 # ----------------------------------------------------------------------
@@ -63,16 +77,16 @@ from repro.utils.validation import require_in_unit_interval, require_positive
 def probability_no_fault(
     failure_probabilities: Sequence[float],
     decimals: int = DEFAULT_DECIMALS,
+    kernel: KernelSpec = None,
 ) -> float:
     """Formula (1): probability that none of the processes fails.
 
     An empty probability list (no process mapped on the node) trivially gives
     probability 1.
     """
-    for probability in failure_probabilities:
-        require_in_unit_interval(probability, "failure probability")
-    raw = prod(1.0 - p for p in failure_probabilities)
-    return floor_probability(raw, decimals)
+    return resolve_kernel(kernel).probability_no_fault(
+        failure_probabilities, decimals
+    )
 
 
 def complete_homogeneous_sum(
@@ -139,6 +153,7 @@ def probability_exceeds(
     failure_probabilities: Sequence[float],
     reexecutions: int,
     decimals: int = DEFAULT_DECIMALS,
+    kernel: KernelSpec = None,
 ) -> float:
     """Formula (4): probability that more than ``reexecutions`` faults occur.
 
@@ -153,34 +168,22 @@ def probability_exceeds(
     count, so the per-term floating point results (and therefore the rounded
     output) are bit-identical to summing :func:`probability_exactly` values.
 
-    The subtraction ``1 - Pr(0) - sum Pr(f)`` is carried out in decimal
-    arithmetic: the operands are already rounded to ``decimals`` digits, so
-    the result is exact and matches the paper's hand computation (Appendix
-    A.2) instead of picking up binary floating point noise.
+    The subtraction ``1 - Pr(0) - sum Pr(f)`` is carried out in exact decimal
+    (or exact integer-quanta) arithmetic: the operands are already rounded to
+    ``decimals`` digits, so the result matches the paper's hand computation
+    (Appendix A.2) instead of picking up binary floating point noise.  The
+    computation itself runs on the selected kernel backend
+    (:mod:`repro.kernels`); all backends are bit-identical.
     """
-    if reexecutions < 0:
-        raise ModelError(f"Number of re-executions must be >= 0, got {reexecutions}")
-    no_fault = probability_no_fault(failure_probabilities, decimals)
-    survival = Decimal(repr(no_fault))
-    if reexecutions and failure_probabilities:
-        # table[f] accumulates the complete homogeneous symmetric polynomial
-        # h_f over the variables processed so far (see
-        # complete_homogeneous_sum); one table serves every fault count.
-        table = [0.0] * (reexecutions + 1)
-        table[0] = 1.0
-        for probability in failure_probabilities:
-            for f in range(1, reexecutions + 1):
-                table[f] = table[f] + probability * table[f - 1]
-        for faults in range(1, reexecutions + 1):
-            survival += Decimal(
-                repr(floor_probability(no_fault * table[faults], decimals))
-            )
-    return ceil_probability(float(Decimal(1) - survival), decimals)
+    return resolve_kernel(kernel).probability_exceeds(
+        failure_probabilities, reexecutions, decimals
+    )
 
 
 def system_failure_probability(
     per_node_exceedance: Sequence[float],
     decimals: int = DEFAULT_DECIMALS,
+    kernel: KernelSpec = None,
 ) -> float:
     """Formula (5): probability that at least one node exceeds its budget.
 
@@ -188,12 +191,7 @@ def system_failure_probability(
     exceedance probabilities so the union matches the paper's worked example
     digit for digit.
     """
-    for probability in per_node_exceedance:
-        require_in_unit_interval(probability, "node exceedance probability")
-    survival = Decimal(1)
-    for probability in per_node_exceedance:
-        survival *= Decimal(1) - Decimal(repr(probability))
-    return ceil_probability(float(Decimal(1) - survival), decimals)
+    return resolve_kernel(kernel).system_failure(per_node_exceedance, decimals)
 
 
 def reliability_over_time_unit(
@@ -253,6 +251,10 @@ class SFPAnalysis:
     encode node type, hardening level and mapped process multiset) — changing
     one node's hardening or moving one process recomputes only the affected
     node(s).
+
+    ``kernel`` selects the SFP kernel backend for the unmemoized path (an
+    engine brings its own backend); backends are bit-identical, so this is a
+    speed knob, never a semantics knob.
     """
 
     def __init__(
@@ -263,6 +265,7 @@ class SFPAnalysis:
         profile: ExecutionProfile,
         decimals: int = DEFAULT_DECIMALS,
         engine: Optional["EvaluationEngine"] = None,
+        kernel: KernelSpec = None,
     ) -> None:
         self.application = application
         self.architecture = architecture
@@ -270,6 +273,7 @@ class SFPAnalysis:
         self.profile = profile
         self.decimals = decimals
         self.engine = engine
+        self.kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------
     def node_failure_probabilities(self, node: Node) -> List[float]:
@@ -281,7 +285,9 @@ class SFPAnalysis:
 
     def probability_no_fault(self, node: Node) -> float:
         """Formula (1) for one node at its current hardening level."""
-        return probability_no_fault(self.node_failure_probabilities(node), self.decimals)
+        return self.kernel.probability_no_fault(
+            self.node_failure_probabilities(node), self.decimals
+        )
 
     def probability_exactly(self, node: Node, faults: int) -> float:
         """Formula (3) for one node at its current hardening level."""
@@ -296,7 +302,9 @@ class SFPAnalysis:
             return self.engine.node_exceedance(
                 tuple(probabilities), reexecutions, self.decimals
             )
-        return probability_exceeds(probabilities, reexecutions, self.decimals)
+        return self.kernel.probability_exceeds(
+            probabilities, reexecutions, self.decimals
+        )
 
     def system_failure_per_iteration(self, reexecutions: Mapping[str, int]) -> float:
         """Formula (5) for the whole architecture."""
@@ -306,7 +314,7 @@ class SFPAnalysis:
         ]
         if self.engine is not None:
             return self.engine.system_failure(tuple(exceedances), self.decimals)
-        return system_failure_probability(exceedances, self.decimals)
+        return self.kernel.system_failure(exceedances, self.decimals)
 
     def evaluate(self, reexecutions: Mapping[str, int]) -> SFPReport:
         """Full evaluation of formulae (1)-(6) for a redundancy assignment."""
@@ -319,7 +327,7 @@ class SFPAnalysis:
                 tuple(per_node.values()), self.decimals
             )
         else:
-            system_per_iteration = system_failure_probability(
+            system_per_iteration = self.kernel.system_failure(
                 list(per_node.values()), self.decimals
             )
         reliability = reliability_over_time_unit(

@@ -13,17 +13,31 @@ from repro.engine.fingerprint import (
     hardening_fingerprint,
     mapping_fingerprint,
     profile_fingerprint,
+    stable_context_fingerprint,
+)
+from repro.engine.store import (
+    DEFAULT_MAX_BYTES,
+    DesignPointStore,
+    STORE_SCHEMA_VERSION,
+    StoreStats,
+    code_version_salt,
 )
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_MAX_BYTES",
+    "DesignPointStore",
     "EvaluationEngine",
     "MemoCache",
     "MISS",
+    "STORE_SCHEMA_VERSION",
+    "StoreStats",
     "application_fingerprint",
     "architecture_fingerprint",
+    "code_version_salt",
     "context_fingerprint",
     "hardening_fingerprint",
     "mapping_fingerprint",
     "profile_fingerprint",
+    "stable_context_fingerprint",
 ]

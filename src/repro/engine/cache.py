@@ -46,15 +46,23 @@ class CacheStats:
 
 
 class MemoCache:
-    """Dictionary-backed memo table with hit/miss accounting."""
+    """Dictionary-backed memo table with hit/miss accounting.
 
-    __slots__ = ("name", "_store", "hits", "misses")
+    Entries may be *preloaded* from the persistent design-point store
+    (:mod:`repro.engine.store`); hits on preloaded keys are additionally
+    counted as ``disk_hits`` so the CLI can report how much work a warm
+    start actually saved.
+    """
+
+    __slots__ = ("name", "_store", "hits", "misses", "_preloaded", "disk_hits")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._store: Dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
+        self._preloaded: set = set()
+        self.disk_hits = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Any:
@@ -64,6 +72,8 @@ class MemoCache:
             self.misses += 1
         else:
             self.hits += 1
+            if key in self._preloaded:
+                self.disk_hits += 1
         return value
 
     def put(self, key: Hashable, value: Any) -> Any:
@@ -78,6 +88,30 @@ class MemoCache:
         return value
 
     # ------------------------------------------------------------------
+    # persistent-store integration
+    # ------------------------------------------------------------------
+    def load(self, entries: Dict[Hashable, Any]) -> int:
+        """Preload entries (e.g. from disk) without touching hit counters.
+
+        Already-present keys are kept (the in-memory value is at least as
+        fresh); newly inserted keys are marked preloaded for
+        ``disk_hits`` accounting.  Returns the number of entries inserted.
+        """
+        inserted = 0
+        store = self._store
+        preloaded = self._preloaded
+        for key, value in entries.items():
+            if key not in store:
+                store[key] = value
+                preloaded.add(key)
+                inserted += 1
+        return inserted
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        """A shallow copy of the current entries (for persisting)."""
+        return dict(self._store)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._store)
 
@@ -87,6 +121,7 @@ class MemoCache:
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe history)."""
         self._store.clear()
+        self._preloaded.clear()
 
     @property
     def stats(self) -> CacheStats:

@@ -32,17 +32,14 @@ by the equivalence test-suite.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence, Tuple, Union
 
 from repro.core.application import Application
 from repro.core.profile import ExecutionProfile
-from repro.core.sfp import (
-    probability_exceeds,
-    probability_no_fault,
-    system_failure_probability,
-)
 from repro.engine.cache import CacheStats, MemoCache
 from repro.engine.fingerprint import context_fingerprint
+from repro.kernels.base import SFPKernel
+from repro.kernels.registry import resolve_kernel
 from repro.utils.rounding import DEFAULT_DECIMALS
 
 
@@ -62,10 +59,15 @@ class EvaluationEngine:
         application: Application,
         profile: ExecutionProfile,
         decimals: int = DEFAULT_DECIMALS,
+        kernel: Union[SFPKernel, str, None] = None,
     ) -> None:
         self.application = application
         self.profile = profile
         self.decimals = decimals
+        #: SFP kernel backend computing cache misses.  Backends are
+        #: bit-identical, so the kernel is *not* part of any memo key and
+        #: cached entries stay valid across kernel switches.
+        self.kernel = resolve_kernel(kernel)
         #: Content hash of the bound context; part of every persisted record.
         self.context = context_fingerprint(application, profile)
         self.decisions = MemoCache("decisions")
@@ -97,7 +99,7 @@ class EvaluationEngine:
         """Memoized formula (1) for one node's failure-probability tuple."""
         return self.no_fault.memoize(
             (probabilities, decimals),
-            lambda: probability_no_fault(probabilities, decimals),
+            lambda: self.kernel.probability_no_fault(probabilities, decimals),
         )
 
     def node_exceedance(
@@ -112,7 +114,9 @@ class EvaluationEngine:
         """
         return self.exceedance.memoize(
             (probabilities, reexecutions, decimals),
-            lambda: probability_exceeds(probabilities, reexecutions, decimals),
+            lambda: self.kernel.probability_exceeds(
+                probabilities, reexecutions, decimals
+            ),
         )
 
     def system_failure(
@@ -121,7 +125,7 @@ class EvaluationEngine:
         """Memoized formula (5) for an ordered per-node exceedance tuple."""
         return self.system.memoize(
             (exceedances, decimals),
-            lambda: system_failure_probability(exceedances, decimals),
+            lambda: self.kernel.system_failure(exceedances, decimals),
         )
 
     # ------------------------------------------------------------------
@@ -145,6 +149,11 @@ class EvaluationEngine:
             total = total + cache.stats
         return total
 
+    @property
+    def disk_hits(self) -> int:
+        """Hits served by entries preloaded from the persistent store."""
+        return sum(cache.disk_hits for cache in self.caches)
+
     def stats_by_cache(self) -> Dict[str, Dict[str, float]]:
         return {cache.name: cache.stats.as_dict() for cache in self.caches}
 
@@ -157,6 +166,8 @@ class EvaluationEngine:
             "hits": total.hits,
             "misses": total.misses,
             "hit_rate": total.hit_rate,
+            "disk_hits": self.disk_hits,
+            "kernel": self.kernel.name,
             "caches": self.stats_by_cache(),
         }
 

@@ -22,6 +22,7 @@ Fingerprint contracts:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Mapping, Tuple
 
 from repro.core.application import Application
@@ -53,33 +54,7 @@ def architecture_fingerprint(architecture: Architecture) -> ArchitectureFingerpr
 
 def application_fingerprint(application: Application) -> int:
     """Content hash of the application's graphs and global parameters."""
-    graphs = []
-    for graph in application.graphs:
-        processes = tuple(sorted(graph.process_names))
-        edges = tuple(
-            sorted(
-                (message.source, message.destination, message.transmission_time)
-                for message in graph.messages
-            )
-        )
-        graphs.append((graph.name, processes, edges))
-    overheads = tuple(
-        sorted(
-            (name, application.recovery_overhead_of(name))
-            for name in application.process_names()
-        )
-    )
-    return hash(
-        (
-            application.name,
-            application.deadline,
-            application.period,
-            application.reliability_goal,
-            application.time_unit,
-            tuple(graphs),
-            overheads,
-        )
-    )
+    return hash(_canonical_application(application))
 
 
 def profile_fingerprint(profile: ExecutionProfile) -> int:
@@ -96,3 +71,54 @@ def profile_fingerprint(profile: ExecutionProfile) -> int:
 def context_fingerprint(application: Application, profile: ExecutionProfile) -> int:
     """Combined content hash identifying one (application, profile) context."""
     return hash((application_fingerprint(application), profile_fingerprint(profile)))
+
+
+def _canonical_application(application: Application) -> Tuple:
+    """Canonical content tuple of an application (same data as the hash)."""
+    graphs = []
+    for graph in application.graphs:
+        processes = tuple(sorted(graph.process_names))
+        edges = tuple(
+            sorted(
+                (message.source, message.destination, message.transmission_time)
+                for message in graph.messages
+            )
+        )
+        graphs.append((graph.name, processes, edges))
+    overheads = tuple(
+        sorted(
+            (name, application.recovery_overhead_of(name))
+            for name in application.process_names()
+        )
+    )
+    return (
+        application.name,
+        application.deadline,
+        application.period,
+        application.reliability_goal,
+        application.time_unit,
+        tuple(graphs),
+        overheads,
+    )
+
+
+def stable_context_fingerprint(
+    application: Application, profile: ExecutionProfile
+) -> str:
+    """Cross-process content hash of one (application, profile) context.
+
+    :func:`context_fingerprint` goes through Python's builtin ``hash``, which
+    is salted per interpreter run (``PYTHONHASHSEED``) — fine for in-memory
+    memo keys, useless for anything persisted.  This variant hashes the same
+    canonical content tuples through SHA-256 of their ``repr`` (floats repr
+    round-trip exactly, so the digest is stable across runs and platforms)
+    and is the key the persistent design-point store files are named by.
+    """
+    entries = tuple(
+        sorted(
+            (key, entry.wcet, entry.failure_probability)
+            for key, entry in profile.entries().items()
+        )
+    )
+    canonical = repr((_canonical_application(application), entries))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

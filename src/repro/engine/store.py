@@ -1,0 +1,263 @@
+"""Persistent on-disk design-point store — warm starts across CLI runs.
+
+The in-memory :class:`~repro.engine.engine.EvaluationEngine` dies with the
+process, so every CLI invocation of the same sweep used to recompute every
+design point from scratch.  The store persists an engine's memo tables to
+disk, keyed by the **stable** content hash of the bound
+``(application, profile)`` context (:func:`stable_context_fingerprint` —
+``PYTHONHASHSEED``-independent, unlike the in-memory fingerprint), so a
+second run of the same sweep starts warm.
+
+Layout and lifecycle:
+
+* One pickle file per context, named
+  ``<sha256(salt | context)> .pkl`` under the store directory.  The salt
+  folds in :data:`STORE_SCHEMA_VERSION` and the package version: any code
+  change that could alter results makes old files unreachable (stale caches
+  are *not found* rather than migrated — design points are cheap to recompute
+  relative to the cost of a wrong hit).
+* :meth:`DesignPointStore.warm` preloads a file's entries into an engine
+  (marking them for ``disk_hits`` accounting); :meth:`DesignPointStore.persist`
+  merges the engine's tables back (read-modify-write with an atomic
+  ``os.replace``, so concurrent workers at worst lose entries, never corrupt
+  files).
+* A size cap is enforced after every persist: least-recently-used files
+  (by mtime — ``warm`` touches files it reads) are evicted until the store
+  fits.  The file just written is never evicted.
+
+Pickle is appropriate here: the store is a local cache written and read only
+by this package; it is not an interchange format and never loads data the
+user did not put there.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.engine.fingerprint import stable_context_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import EvaluationEngine
+
+#: Bump on any change to the persisted layout *or* to the numeric kernels'
+#: result contract; old store files become unreachable (never migrated).
+STORE_SCHEMA_VERSION = 1
+
+#: Default size cap of a store directory (bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Engine attribute name per persisted memo table.
+PERSISTED_CACHES = ("decisions", "optimizations", "exceedance", "no_fault", "system")
+
+
+def code_version_salt() -> str:
+    """Salt tying store files to the code that produced them."""
+    import repro  # deferred: repro/__init__ defines __version__ after its imports
+
+    version = getattr(repro, "__version__", "unknown")
+    return f"schema={STORE_SCHEMA_VERSION};version={version}"
+
+
+@dataclass
+class StoreStats:
+    """Counters describing one store's activity in this process."""
+
+    files_loaded: int = 0
+    entries_loaded: int = 0
+    files_persisted: int = 0
+    entries_persisted: int = 0
+    evicted_files: int = 0
+    invalid_files: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "files_loaded": self.files_loaded,
+            "entries_loaded": self.entries_loaded,
+            "files_persisted": self.files_persisted,
+            "entries_persisted": self.entries_persisted,
+            "evicted_files": self.evicted_files,
+            "invalid_files": self.invalid_files,
+        }
+
+
+class DesignPointStore:
+    """Directory-backed persistence for evaluation-engine memo tables."""
+
+    def __init__(
+        self,
+        directory: Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        salt: Optional[str] = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.salt = salt if salt is not None else code_version_salt()
+        self.stats = StoreStats()
+        self._sweep_stale_temp_files()
+
+    # ------------------------------------------------------------------
+    def context_key(self, engine: "EvaluationEngine") -> str:
+        """Stable, salted file key for the engine's bound context."""
+        stable = stable_context_fingerprint(engine.application, engine.profile)
+        return sha256(f"{self.salt}|{stable}".encode("utf-8")).hexdigest()
+
+    def path_for(self, engine: "EvaluationEngine") -> Path:
+        return self.directory / f"{self.context_key(engine)}.pkl"
+
+    # ------------------------------------------------------------------
+    def warm(self, engine: "EvaluationEngine") -> int:
+        """Preload a persisted context into ``engine``; returns entry count.
+
+        Unreadable or mismatched files are treated as absent (and removed):
+        a cache must never turn a corrupt byte into a wrong answer or a
+        crash.
+        """
+        path = self.path_for(engine)
+        payload = self._read(path)
+        if payload is None:
+            return 0
+        loaded = 0
+        for attribute in PERSISTED_CACHES:
+            entries = payload["caches"].get(attribute)
+            if entries:
+                loaded += getattr(engine, attribute).load(entries)
+        # Mark the file recently used so LRU eviction favours cold contexts.
+        # The file may have been evicted by a concurrent process since we
+        # read it — losing the touch is fine, crashing the sweep is not.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.stats.files_loaded += 1
+        self.stats.entries_loaded += loaded
+        return loaded
+
+    def persist(self, engine: "EvaluationEngine") -> int:
+        """Merge the engine's memo tables into the context's store file.
+
+        Read-modify-write: entries already on disk are kept (union with the
+        engine's, engine wins ties — the values are bit-identical anyway),
+        the file is replaced atomically, and the store size cap is enforced
+        afterwards.  Returns the number of entries written.
+        """
+        path = self.path_for(engine)
+        existing = self._read(path)
+        caches: Dict[str, Dict] = {}
+        total = 0
+        for attribute in PERSISTED_CACHES:
+            merged: Dict = {}
+            if existing is not None:
+                merged.update(existing["caches"].get(attribute, {}))
+            merged.update(getattr(engine, attribute).snapshot())
+            caches[attribute] = merged
+            total += len(merged)
+        if total == 0:
+            return 0
+        payload = {
+            "salt": self.salt,
+            "context": self.context_key(engine),
+            "caches": caches,
+        }
+        self._write_atomic(path, payload)
+        self.stats.files_persisted += 1
+        self.stats.entries_persisted += total
+        self._enforce_cap(keep=path)
+        return total
+
+    # ------------------------------------------------------------------
+    def _read(self, path: Path) -> Optional[Dict]:
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, foreign file, unpicklable after a refactor ...
+            # a cache treats all of these as "not cached".
+            self.stats.invalid_files += 1
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("salt") != self.salt
+            or not isinstance(payload.get("caches"), dict)
+        ):
+            self.stats.invalid_files += 1
+            self._discard(path)
+            return None
+        return payload
+
+    def _write_atomic(self, path: Path, payload: Dict) -> None:
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            self._discard(Path(temp_name))
+            raise
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _sweep_stale_temp_files(self) -> None:
+        """Remove ``*.tmp`` orphans left by writers that died mid-write.
+
+        A live ``_write_atomic`` temp file exists for milliseconds; anything
+        older than an hour is an orphan from a killed process.  Run once per
+        store construction so long-lived directories stay clean even when
+        they never exceed the size cap.
+        """
+        cutoff = time.time() - 3600.0
+        for path in self.directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                continue
+
+    def _enforce_cap(self, keep: Optional[Path] = None) -> None:
+        """Evict least-recently-used files until the store fits the cap.
+
+        Orphaned ``*.tmp`` files (an interrupted ``_write_atomic`` — SIGKILL,
+        power loss) count toward the cap and are eviction candidates like any
+        other file, so a crashing writer cannot grow the directory past the
+        user's limit; live temp files are written and replaced within one
+        call, so only stale ones are ever old enough to be evicted first.
+        """
+        files = []
+        total = 0
+        for pattern in ("*.pkl", "*.tmp"):
+            for path in self.directory.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        files.sort()  # oldest mtime first
+        for _, size, path in files:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            self._discard(path)
+            self.stats.evicted_files += 1
+            total -= size

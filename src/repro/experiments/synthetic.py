@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.baselines import (
     max_hardening_strategy,
@@ -32,7 +33,7 @@ from repro.core.baselines import (
 from repro.core.evaluation import DesignResult
 from repro.core.fault_model import SER_HIGH, SER_LOW, SER_MEDIUM
 from repro.core.mapping import MappingAlgorithm
-from repro.engine import EvaluationEngine
+from repro.engine import DEFAULT_MAX_BYTES, DesignPointStore, EvaluationEngine
 from repro.experiments.results import format_table
 from repro.generator.benchmark import (
     BenchmarkConfig,
@@ -121,6 +122,10 @@ class SettingResult:
     ser: float
     hpd: float
     results: Dict[str, List[DesignResult]] = field(default_factory=dict)
+    #: Aggregate persistent-store counters over the setting's engines (zero
+    #: when no store is attached).
+    disk_hits: int = 0
+    disk_entries_loaded: int = 0
 
     def acceptance_percent(self, max_cost: Optional[float]) -> Dict[str, float]:
         """Percentage of applications accepted per strategy under ``max_cost``."""
@@ -164,6 +169,8 @@ class SettingResult:
             "search_evaluations": search_evaluations,
             "points_computed": points_computed,
             "hit_rate": hits / lookups if lookups else 0.0,
+            "disk_hits": self.disk_hits,
+            "disk_entries_loaded": self.disk_entries_loaded,
         }
 
 
@@ -173,7 +180,9 @@ def _evaluate_benchmark_setting(
     hpd: float,
     preset: ExperimentPreset,
     strategies: Tuple[str, ...],
-) -> Dict[str, DesignResult]:
+    store_dir: Optional[Path] = None,
+    store_max_bytes: int = DEFAULT_MAX_BYTES,
+) -> Tuple[Dict[str, DesignResult], Dict[str, int]]:
     """Run the requested strategies for one application at one setting.
 
     Module-level (not a method) so the parallel sweep can ship it to worker
@@ -181,6 +190,14 @@ def _evaluate_benchmark_setting(
     the benchmark's (application, profile): design points evaluated by MIN
     (all-minimum hardening, which OPT's Phase 1 always evaluates first) or
     MAX are free for OPT and vice versa.
+
+    When ``store_dir`` is given, the engine is warm-started from the
+    persistent design-point store before the strategies run and its memo
+    tables are merged back afterwards; the returned counters report how many
+    entries were preloaded and how many lookups they served.  Every worker
+    process opens its own store handle (cheap — it is just a directory), and
+    distinct benchmarks/settings hash to distinct files, so parallel sweeps
+    need no cross-process locking.
     """
     node_types, profile = build_platform(
         benchmark,
@@ -188,18 +205,27 @@ def _evaluate_benchmark_setting(
         hardening_performance_degradation=hpd,
     )
     engine = EvaluationEngine(benchmark.application, profile)
+    store: Optional[DesignPointStore] = None
+    disk = {"disk_hits": 0, "disk_entries_loaded": 0}
+    if store_dir is not None:
+        store = DesignPointStore(store_dir, max_bytes=store_max_bytes)
+        disk["disk_entries_loaded"] = store.warm(engine)
     algorithm = preset.mapping_algorithm()
     builders = {
         "MIN": min_hardening_strategy,
         "MAX": max_hardening_strategy,
         "OPT": optimized_strategy,
     }
-    return {
+    results = {
         name: builders[name](node_types, algorithm).explore(
             benchmark.application, profile, engine=engine
         )
         for name in strategies
     }
+    if store is not None:
+        store.persist(engine)
+        disk["disk_hits"] = engine.disk_hits
+    return results, disk
 
 
 class AcceptanceExperiment:
@@ -218,6 +244,15 @@ class AcceptanceExperiment:
         the sweep fast on one core); ``0`` uses one worker per CPU.  Results
         are deterministic and identical regardless of ``n_jobs`` because each
         application is evaluated independently and collected in order.
+    store_dir:
+        Optional directory of the persistent design-point store
+        (:class:`~repro.engine.store.DesignPointStore`).  When given, every
+        engine is warm-started from disk and persisted back, so repeating
+        the same sweep in a fresh process starts warm.  Results are
+        bit-identical with or without a store.
+    store_max_bytes:
+        Size cap of the store directory (least-recently-used files are
+        evicted beyond it).
     """
 
     def __init__(
@@ -226,6 +261,8 @@ class AcceptanceExperiment:
         benchmarks: Optional[Sequence[SyntheticBenchmark]] = None,
         strategies: Sequence[str] = STRATEGIES,
         n_jobs: Optional[int] = None,
+        store_dir: Union[str, Path, None] = None,
+        store_max_bytes: int = DEFAULT_MAX_BYTES,
     ) -> None:
         self.preset = preset if preset is not None else ExperimentPreset.fast()
         unknown = set(strategies) - set(STRATEGIES)
@@ -235,6 +272,8 @@ class AcceptanceExperiment:
         if n_jobs is not None and n_jobs < 0:
             raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
         self.n_jobs = n_jobs
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.store_max_bytes = store_max_bytes
         if benchmarks is not None:
             self.benchmarks = list(benchmarks)
         else:
@@ -253,10 +292,12 @@ class AcceptanceExperiment:
         if key in self._cache:
             return self._cache[key]
         setting = SettingResult(ser=ser, hpd=hpd, results={name: [] for name in self.strategies})
+        count = len(self.benchmarks)
         if self.n_jobs is None or self.n_jobs == 1:
             per_benchmark = [
                 _evaluate_benchmark_setting(
-                    benchmark, ser, hpd, self.preset, self.strategies
+                    benchmark, ser, hpd, self.preset, self.strategies,
+                    self.store_dir, self.store_max_bytes,
                 )
                 for benchmark in self.benchmarks
             ]
@@ -267,15 +308,19 @@ class AcceptanceExperiment:
                     pool.map(
                         _evaluate_benchmark_setting,
                         self.benchmarks,
-                        [ser] * len(self.benchmarks),
-                        [hpd] * len(self.benchmarks),
-                        [self.preset] * len(self.benchmarks),
-                        [self.strategies] * len(self.benchmarks),
+                        [ser] * count,
+                        [hpd] * count,
+                        [self.preset] * count,
+                        [self.strategies] * count,
+                        [self.store_dir] * count,
+                        [self.store_max_bytes] * count,
                     )
                 )
-        for results in per_benchmark:
+        for results, disk in per_benchmark:
             for name in self.strategies:
                 setting.results[name].append(results[name])
+            setting.disk_hits += disk["disk_hits"]
+            setting.disk_entries_loaded += disk["disk_entries_loaded"]
         self._cache[key] = setting
         return setting
 
@@ -285,12 +330,15 @@ class AcceptanceExperiment:
         See :meth:`SettingResult.cache_summary` for the field semantics.
         """
         hits = misses = search_evaluations = points_computed = 0
+        disk_hits = disk_entries_loaded = 0
         for setting in self._cache.values():
             summary = setting.cache_summary()
             hits += summary["hits"]
             misses += summary["misses"]
             search_evaluations += summary["search_evaluations"]
             points_computed += summary["points_computed"]
+            disk_hits += summary["disk_hits"]
+            disk_entries_loaded += summary["disk_entries_loaded"]
         lookups = hits + misses
         return {
             "hits": hits,
@@ -298,6 +346,8 @@ class AcceptanceExperiment:
             "search_evaluations": search_evaluations,
             "points_computed": points_computed,
             "hit_rate": hits / lookups if lookups else 0.0,
+            "disk_hits": disk_hits,
+            "disk_entries_loaded": disk_entries_loaded,
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,37 @@
+"""Pluggable SFP kernel backends.
+
+The System Failure Probability primitives (formulae (1), (4) and (5) of the
+paper) are the innermost numeric kernel of the design-space exploration; this
+package makes their implementation swappable behind a bit-identity contract.
+See :mod:`repro.kernels.base` for the contract, :mod:`repro.kernels.registry`
+for selection (``--sfp-kernel`` / ``REPRO_SFP_KERNEL`` / ``auto``), and
+``PERFORMANCE.md`` for measurements.
+"""
+
+from repro.kernels.array_backend import ArrayKernel
+from repro.kernels.base import SFPKernel
+from repro.kernels.reference import ReferenceKernel
+from repro.kernels.registry import (
+    AUTO,
+    KERNEL_ENV_VAR,
+    active_kernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    resolve_kernel,
+    set_default_kernel,
+)
+
+__all__ = [
+    "AUTO",
+    "ArrayKernel",
+    "KERNEL_ENV_VAR",
+    "ReferenceKernel",
+    "SFPKernel",
+    "active_kernel",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "resolve_kernel",
+    "set_default_kernel",
+]

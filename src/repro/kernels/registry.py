@@ -1,0 +1,116 @@
+"""Kernel backend registry and selection.
+
+Selection precedence, highest first:
+
+1. an explicit ``kernel=`` argument on the SFP entry points (``SFPAnalysis``,
+   ``EvaluationEngine``, ``ReExecutionOpt``, the ``core.sfp`` module
+   functions) — accepts a kernel instance or a registered name;
+2. a process-wide default set by :func:`set_default_kernel` (the CLI's
+   ``--sfp-kernel`` flag lands here);
+3. the ``REPRO_SFP_KERNEL`` environment variable;
+4. ``auto``: the highest-priority backend whose ``is_available()`` is true.
+
+Because every registered backend is bit-identical (see
+:mod:`repro.kernels.base`), switching kernels never changes results — only
+speed — so cached design points (in-memory memo tables and the persistent
+store) remain valid across kernel switches and the selection deliberately is
+**not** part of any cache key.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Type, Union
+
+from repro.core.exceptions import ModelError
+from repro.kernels.array_backend import ArrayKernel
+from repro.kernels.base import SFPKernel
+from repro.kernels.reference import ReferenceKernel
+
+#: Environment variable consulted when no explicit selection was made.
+KERNEL_ENV_VAR = "REPRO_SFP_KERNEL"
+
+#: Pseudo-name selecting the fastest available backend.
+AUTO = "auto"
+
+_KERNEL_CLASSES: Dict[str, Type[SFPKernel]] = {}
+_INSTANCES: Dict[str, SFPKernel] = {}
+_DEFAULT_NAME: Optional[str] = None
+
+
+def register_kernel(kernel_class: Type[SFPKernel]) -> Type[SFPKernel]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    name = kernel_class.name
+    if not name or name == AUTO:
+        raise ModelError(f"Kernel class {kernel_class.__name__} needs a valid name")
+    existing = _KERNEL_CLASSES.get(name)
+    if existing is not None and existing is not kernel_class:
+        raise ModelError(f"Kernel name {name!r} is already registered")
+    _KERNEL_CLASSES[name] = kernel_class
+    return kernel_class
+
+
+def kernel_names(available_only: bool = False) -> List[str]:
+    """Registered backend names, ``auto``-priority order (highest first)."""
+    names = sorted(
+        _KERNEL_CLASSES,
+        key=lambda name: (-_KERNEL_CLASSES[name].priority, name),
+    )
+    if available_only:
+        names = [name for name in names if _KERNEL_CLASSES[name].is_available()]
+    return names
+
+
+def get_kernel(name: str) -> SFPKernel:
+    """The singleton instance of one backend (``auto`` resolves availability)."""
+    if name == AUTO:
+        for candidate in kernel_names(available_only=True):
+            return get_kernel(candidate)
+        raise ModelError("No SFP kernel backend is available")
+    kernel_class = _KERNEL_CLASSES.get(name)
+    if kernel_class is None:
+        raise ModelError(
+            f"Unknown SFP kernel {name!r}; registered: {kernel_names()}"
+        )
+    if not kernel_class.is_available():
+        raise ModelError(
+            f"SFP kernel {name!r} is not available in this environment"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = kernel_class()
+    return instance
+
+
+def set_default_kernel(name: Optional[str]) -> Optional[SFPKernel]:
+    """Set (or clear, with ``None``) the process-wide default backend.
+
+    Returns the resolved instance so callers can report what was picked.
+    """
+    global _DEFAULT_NAME
+    if name is None:
+        _DEFAULT_NAME = None
+        return None
+    kernel = get_kernel(name)  # validate before committing
+    _DEFAULT_NAME = name
+    return kernel
+
+
+def active_kernel() -> SFPKernel:
+    """The backend implied by the selection precedence (see module docstring)."""
+    if _DEFAULT_NAME is not None:
+        return get_kernel(_DEFAULT_NAME)
+    return get_kernel(os.environ.get(KERNEL_ENV_VAR, AUTO))
+
+
+def resolve_kernel(kernel: Union[SFPKernel, str, None]) -> SFPKernel:
+    """Normalize an explicit selection (instance, name or ``None``)."""
+    if kernel is None:
+        return active_kernel()
+    if isinstance(kernel, SFPKernel):
+        return kernel
+    return get_kernel(kernel)
+
+
+register_kernel(ReferenceKernel)
+register_kernel(ArrayKernel)

@@ -157,6 +157,33 @@ class Schedule:
         return self.length <= deadline
 
     # ------------------------------------------------------------------
+    # equality
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the schedule's semantic content.
+
+        Two schedules are equal when every process window, message window,
+        recovery-slack reservation, re-execution budget and hardening level
+        matches — the properties that determine every downstream quantity
+        (lengths, validation, simulation replay).  Lazily derived tables are
+        excluded: they are functions of the compared state.  This is what
+        makes :class:`~repro.core.evaluation.DesignResult` equality
+        meaningful across independently produced designs (the determinism
+        and kernel-equivalence suites rely on it).
+        """
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self._processes == other._processes
+            and self._messages == other._messages
+            and self.node_recovery_slack == other.node_recovery_slack
+            and self.reexecutions == other.reexecutions
+            and self.hardening == other.hardening
+        )
+
+    __hash__ = None  # mutable-by-convention container; not hashable
+
+    # ------------------------------------------------------------------
     # validation and reporting
     # ------------------------------------------------------------------
     def validate(self) -> None:

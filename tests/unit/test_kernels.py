@@ -1,0 +1,140 @@
+"""Kernel registry behaviour: selection precedence, errors, known values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.kernels import (
+    AUTO,
+    KERNEL_ENV_VAR,
+    ArrayKernel,
+    ReferenceKernel,
+    SFPKernel,
+    active_kernel,
+    get_kernel,
+    kernel_names,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.kernels import registry as registry_module
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Each test starts with no process default and no env override."""
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    set_default_kernel(None)
+    yield
+    set_default_kernel(None)
+
+
+def test_both_builtin_backends_registered():
+    names = kernel_names()
+    assert "reference" in names
+    assert "array" in names
+
+
+def test_auto_prefers_the_array_backend():
+    # array has the higher priority and is always available (numpy optional).
+    assert kernel_names(available_only=True)[0] == "array"
+    assert isinstance(get_kernel(AUTO), ArrayKernel)
+    assert isinstance(active_kernel(), ArrayKernel)
+
+
+def test_get_kernel_returns_singletons():
+    assert get_kernel("array") is get_kernel("array")
+    assert get_kernel("reference") is get_kernel("reference")
+
+
+def test_unknown_kernel_is_a_model_error():
+    with pytest.raises(ModelError, match="Unknown SFP kernel"):
+        get_kernel("simd-on-a-toaster")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+    assert isinstance(active_kernel(), ReferenceKernel)
+
+
+def test_set_default_kernel_overrides_env(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+    picked = set_default_kernel("array")
+    assert isinstance(picked, ArrayKernel)
+    assert isinstance(active_kernel(), ArrayKernel)
+    set_default_kernel(None)
+    assert isinstance(active_kernel(), ReferenceKernel)
+
+
+def test_set_default_kernel_validates_before_committing(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+    with pytest.raises(ModelError):
+        set_default_kernel("no-such-backend")
+    # The failed call must not have clobbered the selection.
+    assert isinstance(active_kernel(), ReferenceKernel)
+
+
+def test_resolve_kernel_accepts_instance_name_and_none():
+    instance = ArrayKernel()
+    assert resolve_kernel(instance) is instance
+    assert isinstance(resolve_kernel("reference"), ReferenceKernel)
+    assert isinstance(resolve_kernel(None), SFPKernel)
+
+
+def test_register_rejects_duplicate_names():
+    class Impostor(SFPKernel):
+        name = "reference"
+
+    with pytest.raises(ModelError, match="already registered"):
+        registry_module.register_kernel(Impostor)
+
+
+def test_register_rejects_anonymous_and_auto_names():
+    class Nameless(SFPKernel):
+        name = ""
+
+    class TakesAuto(SFPKernel):
+        name = AUTO
+
+    with pytest.raises(ModelError):
+        registry_module.register_kernel(Nameless)
+    with pytest.raises(ModelError):
+        registry_module.register_kernel(TakesAuto)
+
+
+def test_unavailable_backend_skipped_by_auto_and_rejected_explicitly(monkeypatch):
+    class Phantom(SFPKernel):
+        name = "phantom-test-backend"
+        priority = 10_000  # would win auto selection if it were available
+
+        @classmethod
+        def is_available(cls):
+            return False
+
+    monkeypatch.setitem(registry_module._KERNEL_CLASSES, Phantom.name, Phantom)
+    assert Phantom.name not in kernel_names(available_only=True)
+    assert get_kernel(AUTO).name != Phantom.name
+    with pytest.raises(ModelError, match="not available"):
+        get_kernel(Phantom.name)
+
+
+# ----------------------------------------------------------------------
+# Appendix A.2 worked values, per backend — small but absolute anchors.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["reference", "array"])
+def test_appendix_a2_anchor_values(name):
+    """The hand-computed SFP chain of the paper's Appendix A.2.
+
+    Same inputs as ``tests/integration/test_appendix_sfp.py`` drives through
+    the analysis layer; here each backend computes the primitives directly.
+    """
+    kernel = get_kernel(name)
+    probabilities = [1.2e-5, 1.3e-5, 1.4e-5]
+    # Exact decimal-grid values produced by the reference chain; pinned as
+    # literals so a drifting backend fails loudly with the observed value.
+    assert kernel.probability_no_fault(probabilities) == 0.9999610005
+    assert kernel.probability_exceeds(probabilities, 0) == 3.89995e-05
+    exceeds_one = kernel.probability_exceeds(probabilities, 1)
+    assert exceeds_one == 1.03e-09
+    union = kernel.system_failure([exceeds_one, exceeds_one])
+    assert union >= exceeds_one

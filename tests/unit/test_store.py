@@ -1,0 +1,253 @@
+"""Persistent design-point store: round trips, salting, eviction, corruption."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.reexecution import ReExecutionOpt
+from repro.core.sfp import SFPAnalysis
+from repro.engine import (
+    DesignPointStore,
+    EvaluationEngine,
+    stable_context_fingerprint,
+)
+from repro.engine.store import code_version_salt
+from repro.experiments.motivational import fig1_application, fig1_profile
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def context():
+    return fig1_application(), fig1_profile()
+
+
+def _engine_with_entries(context) -> EvaluationEngine:
+    """A fresh engine with a few real memo entries in every SFP table."""
+    application, profile = context
+    engine = EvaluationEngine(application, profile)
+    engine.node_no_fault((1.2e-5, 1.3e-5), 11)
+    engine.node_exceedance((1.2e-5, 1.3e-5), 1, 11)
+    engine.node_exceedance((1.2e-5, 1.3e-5), 2, 11)
+    engine.system_failure((1e-9, 2e-9), 11)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# warm / persist round trips
+# ----------------------------------------------------------------------
+def test_round_trip_restores_entries_and_counts_disk_hits(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    first = _engine_with_entries(context)
+    assert store.persist(first) > 0
+
+    second = EvaluationEngine(application, profile)
+    loaded = DesignPointStore(tmp_path).warm(second)
+    assert loaded == len(first.exceedance) + len(first.no_fault) + len(first.system)
+    assert second.disk_hits == 0
+
+    # Preloaded entries must serve (and count) hits without recomputation.
+    value = second.node_exceedance((1.2e-5, 1.3e-5), 1, 11)
+    assert value == first.node_exceedance((1.2e-5, 1.3e-5), 1, 11)
+    assert second.disk_hits == 1
+    assert second.exceedance.stats.misses == 0
+
+
+def test_round_trip_is_bit_identical_through_the_analysis_layer(tmp_path, context):
+    """A warm engine must drive the full SFP/re-execution stack identically."""
+    application, profile = context
+    from repro.core.architecture import Architecture, Node
+    from repro.core.mapping_model import ProcessMapping
+    from repro.experiments.motivational import fig1_node_types
+
+    n1, n2 = fig1_node_types()
+    architecture = Architecture([Node("N1", n1, hardening=1), Node("N2", n2, hardening=1)])
+    mapping = ProcessMapping({"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"})
+
+    cold_engine = EvaluationEngine(application, profile)
+    cold = ReExecutionOpt(engine=cold_engine).optimize(
+        application, architecture, mapping, profile
+    )
+    store = DesignPointStore(tmp_path)
+    store.persist(cold_engine)
+
+    warm_engine = EvaluationEngine(application, profile)
+    store.warm(warm_engine)
+    warm = ReExecutionOpt(engine=warm_engine).optimize(
+        application, architecture, mapping, profile
+    )
+    assert warm == cold
+    assert warm_engine.disk_hits > 0
+
+
+def test_persist_merges_with_existing_file(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    first = _engine_with_entries(context)
+    store.persist(first)
+
+    # A second engine computing a *different* entry must not clobber the
+    # first engine's entries on disk.
+    second = EvaluationEngine(application, profile)
+    second.node_exceedance((9e-6,), 3, 11)
+    store.persist(second)
+
+    third = EvaluationEngine(application, profile)
+    store.warm(third)
+    assert ((1.2e-5, 1.3e-5), 1, 11) in third.exceedance
+    assert ((9e-6,), 3, 11) in third.exceedance
+
+
+def test_empty_engine_persists_nothing(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    assert store.persist(EvaluationEngine(application, profile)) == 0
+    assert list(tmp_path.glob("*.pkl")) == []
+
+
+# ----------------------------------------------------------------------
+# salting / invalidation
+# ----------------------------------------------------------------------
+def test_salt_mismatch_makes_old_files_unreachable(tmp_path, context):
+    application, profile = context
+    old = DesignPointStore(tmp_path, salt="code-v1")
+    old.persist(_engine_with_entries(context))
+
+    new = DesignPointStore(tmp_path, salt="code-v2")
+    engine = EvaluationEngine(application, profile)
+    assert new.warm(engine) == 0  # hashed to a different file name
+    assert len(engine.exceedance) == 0
+
+
+def test_default_salt_folds_in_schema_and_version():
+    salt = code_version_salt()
+    assert "schema=" in salt and "version=" in salt
+
+
+def test_corrupt_file_is_ignored_and_removed(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    store.persist(_engine_with_entries(context))
+    path = store.path_for(EvaluationEngine(application, profile))
+    path.write_bytes(b"not a pickle at all")
+
+    engine = EvaluationEngine(application, profile)
+    assert store.warm(engine) == 0
+    assert not path.exists()
+    assert store.stats.invalid_files == 1
+
+
+def test_foreign_payload_is_rejected(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    path = store.path_for(EvaluationEngine(application, profile))
+    path.write_bytes(pickle.dumps({"caches": "nope", "salt": "other"}))
+    assert store.warm(EvaluationEngine(application, profile)) == 0
+    assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# size cap / eviction
+# ----------------------------------------------------------------------
+def test_size_cap_evicts_least_recently_used(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path, max_bytes=1)  # everything over cap
+    store.persist(_engine_with_entries(context))
+    # The just-written file is protected from its own eviction pass...
+    assert store.path_for(EvaluationEngine(application, profile)).exists()
+
+    # ...but an older unrelated file gets evicted.
+    stale = tmp_path / ("f" * 64 + ".pkl")
+    stale.write_bytes(b"x" * 4096)
+    os.utime(stale, (1, 1))
+    store.persist(_engine_with_entries(context))
+    assert not stale.exists()
+    assert store.stats.evicted_files >= 1
+
+
+def test_rejects_nonpositive_cap(tmp_path):
+    with pytest.raises(ValueError):
+        DesignPointStore(tmp_path, max_bytes=0)
+
+
+def test_warm_survives_concurrent_eviction_of_the_file(tmp_path, context, monkeypatch):
+    """A racing process may unlink the file between our read and the LRU
+    touch; warm() must shrug, not crash the sweep."""
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    store.persist(_engine_with_entries(context))
+    path = store.path_for(EvaluationEngine(application, profile))
+
+    original_utime = os.utime
+
+    def unlink_then_utime(target, *args, **kwargs):
+        Path(target).unlink()  # simulate the concurrent eviction
+        return original_utime(target, *args, **kwargs)
+
+    monkeypatch.setattr(os, "utime", unlink_then_utime)
+    engine = EvaluationEngine(application, profile)
+    assert store.warm(engine) > 0  # entries still served from the read
+
+
+def test_stale_tmp_orphans_are_swept_and_capped(tmp_path, context):
+    """Interrupted writes must neither accumulate nor escape the size cap."""
+    old_orphan = tmp_path / "deadbeef0000.tmp"
+    old_orphan.write_bytes(b"x" * 1024)
+    os.utime(old_orphan, (1, 1))  # ancient: swept at store construction
+    store = DesignPointStore(tmp_path, max_bytes=1)
+    assert not old_orphan.exists()
+
+    fresh_orphan = tmp_path / "cafebabe0000.tmp"
+    fresh_orphan.write_bytes(b"x" * 4096)
+    os.utime(fresh_orphan, (os.path.getmtime(tmp_path) - 10,) * 2)
+    store.persist(_engine_with_entries(context))  # cap pass runs after persist
+    assert not fresh_orphan.exists()  # counted and evicted like any file
+
+
+# ----------------------------------------------------------------------
+# stable fingerprint
+# ----------------------------------------------------------------------
+def test_stable_fingerprint_is_deterministic_within_process(context):
+    application, profile = context
+    first = stable_context_fingerprint(application, profile)
+    second = stable_context_fingerprint(fig1_application(), fig1_profile())
+    assert first == second
+    assert len(first) == 64 and int(first, 16) >= 0
+
+
+def test_stable_fingerprint_survives_hash_randomization():
+    """PYTHONHASHSEED must not leak into persisted keys (unlike builtin hash)."""
+    script = (
+        "from repro.experiments.motivational import fig1_application, fig1_profile\n"
+        "from repro.engine import stable_context_fingerprint\n"
+        "print(stable_context_fingerprint(fig1_application(), fig1_profile()))\n"
+    )
+    digests = set()
+    for seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=str(SRC))
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        digests.add(output)
+    assert len(digests) == 1
+
+
+def test_different_contexts_hash_to_different_files(tmp_path, context):
+    application, profile = context
+    from repro.experiments.motivational import fig3_application, fig3_profile
+
+    store = DesignPointStore(tmp_path)
+    a = store.path_for(EvaluationEngine(application, profile))
+    b = store.path_for(EvaluationEngine(fig3_application(), fig3_profile()))
+    assert a != b
