@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Benchmark smoke run: fast-preset Fig. 6a sweep, per SFP kernel backend.
+"""Benchmark smoke run: fast-preset Fig. 6a sweep, per kernel backend.
 
-For every registered (available) kernel backend the sweep is rerun on a
-fresh engine and timed; acceptance percentages must agree bit for bit across
-backends (they are required to be bit-identical — a disagreement fails the
-run).  A kernel microbenchmark times the raw SFP primitives, and a
-cold-vs-warm pass against a throwaway persistent design-point store records
-what a second CLI run of the same sweep saves.
+For every registered (available) SFP kernel backend *and* every scheduler
+kernel backend the sweep is rerun on a fresh engine and timed; acceptance
+percentages must agree bit for bit across backends of both families (they
+are required to be bit-identical — a disagreement fails the run).  A kernel
+microbenchmark times the raw SFP primitives, and a cold-vs-warm pass against
+a throwaway persistent design-point store records what a second CLI run of
+the same sweep saves.
 
 Writes a JSON timing artifact used by CI for trajectory tracking.  Run from
 the repository root:
@@ -29,7 +30,14 @@ from repro.experiments.synthetic import (
     ExperimentPreset,
     PAPER_HPD_VALUES,
 )
-from repro.kernels import get_kernel, kernel_names, set_default_kernel
+from repro.kernels import (
+    active_sched_kernel,
+    get_kernel,
+    kernel_names,
+    sched_kernel_names,
+    set_default_kernel,
+    set_default_sched_kernel,
+)
 
 #: Representative node workloads for the kernel microbenchmark: (per-process
 #: failure probabilities, re-execution budget).
@@ -41,9 +49,16 @@ MICRO_CASES = (
 MICRO_ROUNDS = 2000
 
 
-def _run_sweep(preset: ExperimentPreset, kernel_name: str, store_dir=None):
+def _run_sweep(
+    preset: ExperimentPreset,
+    kernel_name: str,
+    store_dir=None,
+    sched_kernel_name=None,
+):
     """One full Fig. 6a sweep on a fresh experiment; returns timing payload."""
     set_default_kernel(kernel_name)
+    if sched_kernel_name is not None:
+        set_default_sched_kernel(sched_kernel_name)
     try:
         experiment = AcceptanceExperiment(preset=preset, store_dir=store_dir)
         start = time.perf_counter()
@@ -53,6 +68,7 @@ def _run_sweep(preset: ExperimentPreset, kernel_name: str, store_dir=None):
         wall_clock = time.perf_counter() - start
     finally:
         set_default_kernel(None)
+        set_default_sched_kernel(None)
     return {
         "wall_clock_seconds": round(wall_clock, 3),
         "cache": experiment.cache_report(),
@@ -104,6 +120,10 @@ def main() -> int:
     }[arguments.preset]()
 
     names = kernel_names(available_only=True)
+    # The SFP-kernel loop never overrides the scheduler selection, so the
+    # headline sweeps run on the ambient choice (REPRO_SCHED_KERNEL or auto)
+    # — record that, not the auto-priority winner.
+    headline_sched = active_sched_kernel().name
     kernels = {}
     for name in names:
         run = _run_sweep(preset, name)
@@ -120,6 +140,27 @@ def main() -> int:
         if reference_run is not None and reference_run["wall_clock_seconds"]:
             run["speedup_vs_reference"] = round(
                 reference_run["wall_clock_seconds"] / run["wall_clock_seconds"], 3
+            )
+
+    # Scheduler kernel backends: the same sweep per backend, on the fastest
+    # SFP kernel.  Any divergence from the reference scheduler's acceptance
+    # output is a bit-identity violation and fails the run.
+    sched_names = sched_kernel_names(available_only=True)
+    sched_kernels = {}
+    for name in sched_names:
+        sched_kernels[name] = _run_sweep(preset, names[0], sched_kernel_name=name)
+    sched_reference = sched_kernels.get("reference")
+    for name, run in sched_kernels.items():
+        if (
+            sched_reference is not None
+            and run["acceptance"] != sched_reference["acceptance"]
+        ):
+            errors.append(
+                f"scheduler kernel {name} schedule output diverged from reference"
+            )
+        if sched_reference is not None and sched_reference["wall_clock_seconds"]:
+            run["speedup_vs_reference"] = round(
+                sched_reference["wall_clock_seconds"] / run["wall_clock_seconds"], 3
             )
 
     # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
@@ -146,7 +187,9 @@ def main() -> int:
         "wall_clock_seconds": fastest["wall_clock_seconds"],
         "cache": fastest["cache"],
         "acceptance": fastest["acceptance"],
+        "sched_kernel": headline_sched,
         "kernels": kernels,
+        "sched_kernels": sched_kernels,
         "persistent_store": store_report,
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -26,7 +26,15 @@ from repro.experiments.motivational import (
     evaluate_fig3_alternatives,
     evaluate_fig4_alternatives,
 )
-from repro.kernels import AUTO, active_kernel, kernel_names, set_default_kernel
+from repro.kernels import (
+    AUTO,
+    active_kernel,
+    active_sched_kernel,
+    kernel_names,
+    sched_kernel_names,
+    set_default_kernel,
+    set_default_sched_kernel,
+)
 from repro.experiments.results import format_table
 from repro.experiments.synthetic import (
     AcceptanceExperiment,
@@ -63,6 +71,14 @@ def _apply_kernel_choice(arguments: argparse.Namespace) -> str:
     if choice is not None:
         return set_default_kernel(choice).name
     return active_kernel().name
+
+
+def _apply_sched_kernel_choice(arguments: argparse.Namespace) -> str:
+    """Apply ``--sched-kernel`` (if given) and return the active backend name."""
+    choice = getattr(arguments, "sched_kernel", None)
+    if choice is not None:
+        return set_default_sched_kernel(choice).name
+    return active_sched_kernel().name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "this is a speed knob only"
             ),
         )
+        sub.add_argument(
+            "--sched-kernel",
+            choices=[AUTO] + sched_kernel_names(),
+            default=None,
+            help=(
+                "scheduler kernel backend (default: REPRO_SCHED_KERNEL env "
+                "var or the fastest available); all backends are "
+                "bit-identical, this is a speed knob only"
+            ),
+        )
     return parser
 
 
@@ -163,6 +189,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # ----------------------------------------------------------------------
 def _run_motivational(arguments: argparse.Namespace) -> int:
     _apply_kernel_choice(arguments)
+    _apply_sched_kernel_choice(arguments)
     fig3 = evaluate_fig3_alternatives()
     fig3_rows = [
         [
@@ -219,6 +246,7 @@ def _run_motivational(arguments: argparse.Namespace) -> int:
 
 def _run_synthetic(arguments: argparse.Namespace) -> int:
     kernel_name = _apply_kernel_choice(arguments)
+    sched_kernel_name = _apply_sched_kernel_choice(arguments)
     preset = {
         "smoke": ExperimentPreset.smoke,
         "fast": ExperimentPreset.fast,
@@ -254,7 +282,8 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
         print()
     cache = experiment.cache_report()
     print(
-        f"evaluation engine ({kernel_name} kernel): "
+        f"evaluation engine ({kernel_name} SFP kernel, "
+        f"{sched_kernel_name} scheduler kernel): "
         f"{cache['points_computed']} design points computed "
         f"({cache['search_evaluations']} mapping evaluations), "
         f"{cache['hits']} cache hits / {cache['misses']} misses "
@@ -267,6 +296,7 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
             f"{cache['disk_hits']} disk-cache hits"
         )
     cache["kernel"] = kernel_name
+    cache["sched_kernel"] = sched_kernel_name
     payload["cache"] = cache
     _maybe_write_json(arguments, payload)
     return 0
@@ -274,6 +304,7 @@ def _run_synthetic(arguments: argparse.Namespace) -> int:
 
 def _run_cruise_control(arguments: argparse.Namespace) -> int:
     _apply_kernel_choice(arguments)
+    _apply_sched_kernel_choice(arguments)
     study = run_cruise_controller_study()
     rows = []
     for strategy, outcome in study.outcomes.items():

@@ -26,11 +26,16 @@ per inter-node message, in the order the scheduler decides.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import insort
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ModelError, SchedulingError
 from repro.utils.validation import require_non_negative, require_positive
+
+#: Sort key of the reservation list (see :meth:`Bus.reserve`).
+_BY_START = attrgetter("start")
 
 
 @dataclass(frozen=True)
@@ -48,10 +53,26 @@ class Bus(ABC):
 
     def __init__(self) -> None:
         self._reservations: List[BusReservation] = []
+        # Windows adopted from a scheduler kernel but not yet materialized
+        # into BusReservation objects (see adopt_reservations).
+        self._pending_windows: Optional[List[Tuple[str, str, float, float]]] = None
 
     def reset(self) -> None:
         """Forget all reservations (called before each scheduling pass)."""
         self._reservations = []
+        self._pending_windows = None
+
+    def _materialize(self) -> None:
+        """Turn adopted windows into BusReservation objects on first access."""
+        pending = self._pending_windows
+        if pending is not None:
+            self._pending_windows = None
+            self._reservations = [
+                BusReservation(
+                    message=message, sender_node=sender, start=start, finish=finish
+                )
+                for message, sender, start, finish in pending
+            ]
 
     def signature(self) -> Tuple:
         """Configuration fingerprint for evaluation-engine cache keys.
@@ -65,6 +86,7 @@ class Bus(ABC):
     @property
     def reservations(self) -> List[BusReservation]:
         """All reservations granted since the last :meth:`reset`."""
+        self._materialize()
         return list(self._reservations)
 
     def reserve(
@@ -89,13 +111,33 @@ class Bus(ABC):
         """
         require_non_negative(earliest_start, "earliest_start")
         require_non_negative(duration, "duration")
+        self._materialize()
         start = self._find_window(sender_node, earliest_start, duration)
         reservation = BusReservation(
             message=message, sender_node=sender_node, start=start, finish=start + duration
         )
-        self._reservations.append(reservation)
-        self._reservations.sort(key=lambda r: r.start)
+        # Insert in start-time order (ties keep insertion order, exactly as
+        # the former append-then-stable-sort did, but in O(log n + n) moves
+        # instead of a full O(n log n) re-sort per message).
+        insort(self._reservations, reservation, key=_BY_START)
         return reservation
+
+    def adopt_reservations(
+        self, windows: Sequence[Tuple[str, str, float, float]]
+    ) -> None:
+        """Replace the reservation list with windows computed out-of-band.
+
+        Scheduler kernel backends that run the gap search over their own flat
+        arrays use this to leave the bus in the same observable state an
+        equivalent sequence of :meth:`reserve` calls would have produced.
+        ``windows`` holds ``(message, sender_node, start, finish)`` tuples and
+        must already be sorted by start time — the invariant
+        :meth:`_earliest_gap` depends on.  The BusReservation objects are
+        materialized lazily on first access, so adopting costs nothing when a
+        design-space sweep never inspects the bus between scheduling passes.
+        """
+        self._reservations = []
+        self._pending_windows = list(windows)
 
     # ------------------------------------------------------------------
     @abstractmethod

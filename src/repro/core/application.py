@@ -117,11 +117,15 @@ class TaskGraph:
             Tuple[Dict[str, List[str]], Dict[str, List[str]]]
         ] = None
         self._generations_cache: Optional[List[List[str]]] = None
+        self._token_cache: Optional[Tuple] = None
+        self._process_list_cache: Optional[List[Process]] = None
 
     def _invalidate_structure_caches(self) -> None:
         self._topo_cache = None
         self._adjacency_cache = None
         self._generations_cache = None
+        self._token_cache = None
+        self._process_list_cache = None
 
     def _adjacency(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
         if self._adjacency_cache is None:
@@ -173,13 +177,35 @@ class TaskGraph:
             )
         return message
 
+    def remove_message(self, source: str, destination: str) -> Message:
+        """Remove (and return) the message from ``source`` to ``destination``.
+
+        This is the supported way to rewire a task graph in place (remove one
+        dependency, then :meth:`add_message` its replacement); it keeps the
+        structure caches and the structural token consistent.
+        """
+        key = (source, destination)
+        message = self._messages.get(key)
+        if message is None:
+            raise ModelError(
+                f"No message from {source} to {destination} in task graph {self.name}"
+            )
+        self._invalidate_structure_caches()
+        self._graph.remove_edge(source, destination)
+        del self._messages[key]
+        return message
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property
     def processes(self) -> List[Process]:
         """All processes, in insertion order."""
-        return [self._graph.nodes[name]["process"] for name in self._graph.nodes]
+        if self._process_list_cache is None:
+            self._process_list_cache = [
+                self._graph.nodes[name]["process"] for name in self._graph.nodes
+            ]
+        return list(self._process_list_cache)
 
     @property
     def process_names(self) -> List[str]:
@@ -247,6 +273,29 @@ class TaskGraph:
                 for generation in nx.topological_generations(self._graph)
             ]
         return self._generations_cache
+
+    def structure_token(self) -> Tuple:
+        """Value token of the graph structure.
+
+        Any mutation through the construction API — adding or removing a
+        process or message, including edits that preserve the process and
+        message *counts* (rewired edges, renamed messages, changed
+        transmission times) — yields a different token, so consumers that
+        memoize derived structure (the list scheduler, compiled scheduler
+        kernels) can use it as their guard.  Cached alongside the other
+        structure caches; like them, it does not observe mutations that
+        bypass the public API.
+        """
+        if self._token_cache is None:
+            self._token_cache = (
+                tuple(self._graph.nodes),
+                tuple(
+                    (message.name, message.source, message.destination,
+                     message.transmission_time)
+                    for message in self._messages.values()
+                ),
+            )
+        return self._token_cache
 
     def __len__(self) -> int:
         return self._graph.number_of_nodes()
@@ -360,16 +409,39 @@ class Application:
         self.name = name
         self.deadline = require_positive(deadline, "deadline")
         self.reliability_goal = require_in_unit_interval(reliability_goal, "reliability_goal")
+        # Bumped whenever any recovery overhead changes; consumers that
+        # snapshot the per-process mu values (compiled scheduler kernels)
+        # guard their caches on (identity, recovery_version).
+        self._recovery_version = 0
         self.recovery_overhead = require_non_negative(recovery_overhead, "recovery_overhead")
         self.period = require_positive(period if period is not None else deadline, "period")
         self.time_unit = require_positive(time_unit, "time_unit")
         self._graphs: Dict[str, TaskGraph] = {}
         self._recovery_overheads: Dict[str, float] = {}
+        # Name-list cache guarded by the structural token (hot paths — the
+        # scheduler's per-call mapping validation above all — ask for the
+        # process names of an unchanged application thousands of times).
+        self._names_cache: Optional[Tuple[Tuple, List[str]]] = None
         if recovery_overheads:
             for process_name, value in recovery_overheads.items():
                 self._recovery_overheads[process_name] = require_non_negative(
                     value, f"recovery overhead of {process_name}"
                 )
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Default recovery overhead ``mu`` for processes without an override."""
+        return self._recovery_overhead
+
+    @recovery_overhead.setter
+    def recovery_overhead(self, value: float) -> None:
+        self._recovery_overhead = require_non_negative(value, "recovery_overhead")
+        self._recovery_version += 1
+
+    @property
+    def recovery_version(self) -> int:
+        """Mutation counter: changes whenever any recovery overhead is edited."""
+        return self._recovery_version
 
     # ------------------------------------------------------------------
     # construction
@@ -402,6 +474,7 @@ class Application:
         self._recovery_overheads[process_name] = require_non_negative(
             value, f"recovery overhead of {process_name}"
         )
+        self._recovery_version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -434,7 +507,21 @@ class Application:
         return result
 
     def process_names(self) -> List[str]:
-        return [process.name for process in self.processes()]
+        token = self.structure_token()
+        cached = self._names_cache
+        if cached is None or cached[0] != token:
+            names = [process.name for process in self.processes()]
+            cached = self._names_cache = (token, names, frozenset(names))
+        return list(cached[1])
+
+    def process_name_set(self) -> frozenset:
+        """The set of process names (cached alongside :meth:`process_names`)."""
+        token = self.structure_token()
+        cached = self._names_cache
+        if cached is None or cached[0] != token:
+            self.process_names()
+            cached = self._names_cache
+        return cached[2]
 
     def process(self, name: str) -> Process:
         for graph in self._graphs.values():
@@ -461,6 +548,13 @@ class Application:
 
     def number_of_processes(self) -> int:
         return sum(len(graph) for graph in self._graphs.values())
+
+    def structure_token(self) -> Tuple:
+        """Structural token over all task graphs (see TaskGraph.structure_token)."""
+        return tuple(
+            (graph.name, graph.structure_token())
+            for graph in self._graphs.values()
+        )
 
     def validate(self) -> None:
         """Check global consistency; raise :class:`ModelError` when violated."""

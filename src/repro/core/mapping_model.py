@@ -22,6 +22,13 @@ class ProcessMapping:
 
     def __init__(self, assignment: Optional[Mapping[str, str]] = None) -> None:
         self._assignment: Dict[str, str] = dict(assignment or {})
+        # Bumped on every in-place mutation; (identity, version) lets hot
+        # paths (scheduler kernels) guard one-slot memos of derived tables
+        # in O(1) instead of re-deriving or re-hashing the assignment.
+        self._version = 0
+        # Mapped-name set guarded by the version (validate runs per schedule
+        # call, the set only changes when the assignment does).
+        self._names_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # construction / modification
@@ -29,6 +36,12 @@ class ProcessMapping:
     def assign(self, process: str, node: str) -> None:
         """Map ``process`` onto ``node`` (overwrites any previous assignment)."""
         self._assignment[process] = node
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever the assignment is edited in place."""
+        return self._version
 
     def copy(self) -> "ProcessMapping":
         return ProcessMapping(self._assignment)
@@ -54,6 +67,16 @@ class ProcessMapping:
 
     def is_mapped(self, process: str) -> bool:
         return process in self._assignment
+
+    def mapped_names(self) -> frozenset:
+        """The set of mapped process names (cached until the next edit)."""
+        cached = self._names_cache
+        if cached is None or cached[0] != self._version:
+            cached = self._names_cache = (
+                self._version,
+                frozenset(self._assignment),
+            )
+        return cached[1]
 
     def items(self):
         return self._assignment.items()
@@ -101,24 +124,59 @@ class ProcessMapping:
         * (optionally) the execution profile has an entry for every
           process/node-type pair at the node's current hardening level.
         """
-        application_processes = set(application.process_names())
-        mapped_processes = set(self._assignment)
-        missing = application_processes - mapped_processes
-        if missing:
-            raise MappingError(f"Unmapped processes: {sorted(missing)}")
-        extra = mapped_processes - application_processes
-        if extra:
+        application_processes = application.process_name_set()
+        mapped_processes = self.mapped_names()
+        if application_processes != mapped_processes:
+            missing = application_processes - mapped_processes
+            if missing:
+                raise MappingError(f"Unmapped processes: {sorted(missing)}")
+            extra = mapped_processes - application_processes
             raise MappingError(f"Mapping references unknown processes: {sorted(extra)}")
-        for process, node_name in self._assignment.items():
+        # Fast path: a mapping assigns many processes to few nodes.  When
+        # every used node exists and its supported-process set (cached per
+        # (node type, hardening)) covers every mapped process, the mapping is
+        # valid without walking the per-process assignment in Python.  The
+        # check is sufficient but stricter than necessary, so a miss falls
+        # back to the exact per-process loop for the precise error message.
+        used_nodes = set(self._assignment.values())
+        fast_path_valid = True
+        for node_name in used_nodes:
             if not architecture.has_node(node_name):
-                raise MappingError(
-                    f"Process {process} mapped to unknown node {node_name}"
-                )
+                fast_path_valid = False
+                break
             if profile is not None:
                 node = architecture.node(node_name)
-                if not profile.supports(process, node.node_type.name, node.hardening):
+                supported = profile.supported_processes(
+                    node.node_type.name, node.hardening
+                )
+                if not supported >= mapped_processes:
+                    fast_path_valid = False
+                    break
+        if fast_path_valid:
+            return
+
+        # Slow path: resolve each distinct target node once and name the
+        # offending process in the error.
+        resolved: Dict[str, tuple] = {}
+        supports = profile.supports if profile is not None else None
+        for process, node_name in self._assignment.items():
+            node_key = resolved.get(node_name)
+            if node_key is None:
+                if not architecture.has_node(node_name):
                     raise MappingError(
-                        f"Process {process} cannot execute on node {node_name} "
-                        f"({node.node_type.name} at hardening {node.hardening}): "
-                        "no execution profile entry"
+                        f"Process {process} mapped to unknown node {node_name}"
                     )
+                if profile is None:
+                    resolved[node_name] = node_key = (node_name,)
+                else:
+                    node = architecture.node(node_name)
+                    resolved[node_name] = node_key = (
+                        node.node_type.name,
+                        node.hardening,
+                    )
+            if supports is not None and not supports(process, *node_key):
+                raise MappingError(
+                    f"Process {process} cannot execute on node {node_name} "
+                    f"({node_key[0]} at hardening {node_key[1]}): "
+                    "no execution profile entry"
+                )

@@ -60,6 +60,13 @@ class ExecutionProfile:
         self._entries: Dict[ProfileKey, ProfileEntry] = {}
         self._known_processes: Set[str] = set()
         self._known_node_types: Set[str] = set()
+        # Per (node type, hardening) supported-process sets, built lazily for
+        # the mapping-validation fast path and discarded on every add_entry.
+        self._supported_cache: Dict[Tuple[str, int], frozenset] = {}
+        # Bumped on every add_entry; (identity, version) lets consumers that
+        # snapshot the table (compiled scheduler kernels) guard their caches
+        # against in-place profile edits.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # population
@@ -77,6 +84,8 @@ class ExecutionProfile:
         self._entries[key] = ProfileEntry(wcet=wcet, failure_probability=failure_probability)
         self._known_processes.add(process)
         self._known_node_types.add(node_type)
+        self._supported_cache.clear()
+        self._version += 1
 
     @classmethod
     def from_tables(
@@ -134,11 +143,32 @@ class ExecutionProfile:
             key[0] == process and key[1] == node_type for key in self._entries
         )
 
+    def supported_processes(self, node_type: str, hardening: int) -> frozenset:
+        """All processes with an entry for ``(node_type, hardening)`` (cached).
+
+        Backs the mapping-validation fast path: a mapping is trivially valid
+        on a node whose supported-process set covers every mapped process.
+        """
+        key = (node_type, hardening)
+        supported = self._supported_cache.get(key)
+        if supported is None:
+            supported = self._supported_cache[key] = frozenset(
+                process
+                for process, entry_type, entry_level in self._entries
+                if entry_type == node_type and entry_level == hardening
+            )
+        return supported
+
     def processes(self) -> List[str]:
         return sorted(self._known_processes)
 
     def node_types(self) -> List[str]:
         return sorted(self._known_node_types)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever an entry is added or overwritten."""
+        return self._version
 
     def entries(self) -> Dict[ProfileKey, ProfileEntry]:
         """A copy of the raw table (used by serialization)."""

@@ -39,7 +39,7 @@ from repro.core.profile import ExecutionProfile
 from repro.engine.cache import CacheStats, MemoCache
 from repro.engine.fingerprint import context_fingerprint
 from repro.kernels.base import SFPKernel
-from repro.kernels.registry import resolve_kernel
+from repro.kernels.registry import active_sched_kernel, resolve_kernel
 from repro.utils.rounding import DEFAULT_DECIMALS
 
 
@@ -158,7 +158,13 @@ class EvaluationEngine:
         return {cache.name: cache.stats.as_dict() for cache in self.caches}
 
     def report(self) -> Dict[str, object]:
-        """JSON-friendly summary used by the CLI and benchmark artifacts."""
+        """JSON-friendly summary used by the CLI and benchmark artifacts.
+
+        ``sched_kernel`` reports the process-wide scheduler-kernel selection
+        that computed this engine's decision-cache misses.  Like ``kernel``
+        it is informational only: backends are bit-identical, so the choice
+        can never affect a cached value.
+        """
         total = self.stats
         return {
             "context": self.context,
@@ -168,6 +174,7 @@ class EvaluationEngine:
             "hit_rate": total.hit_rate,
             "disk_hits": self.disk_hits,
             "kernel": self.kernel.name,
+            "sched_kernel": active_sched_kernel().name,
             "caches": self.stats_by_cache(),
         }
 

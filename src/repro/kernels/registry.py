@@ -1,17 +1,25 @@
-"""Kernel backend registry and selection.
+"""Kernel backend registries and selection.
 
-Selection precedence, highest first:
+Two kernel families live here, each behind the same selection machinery:
 
-1. an explicit ``kernel=`` argument on the SFP entry points (``SFPAnalysis``,
-   ``EvaluationEngine``, ``ReExecutionOpt``, the ``core.sfp`` module
-   functions) — accepts a kernel instance or a registered name;
-2. a process-wide default set by :func:`set_default_kernel` (the CLI's
-   ``--sfp-kernel`` flag lands here);
-3. the ``REPRO_SFP_KERNEL`` environment variable;
+* **SFP kernels** (:class:`~repro.kernels.base.SFPKernel`) — the Appendix A
+  numeric primitives; selected with ``--sfp-kernel`` / ``REPRO_SFP_KERNEL``.
+* **Scheduler kernels** (:class:`~repro.kernels.sched_base.SchedulerKernel`)
+  — the root-schedule construction of Section 6.4; selected with
+  ``--sched-kernel`` / ``REPRO_SCHED_KERNEL``.
+
+Selection precedence within a family, highest first:
+
+1. an explicit ``kernel=`` argument on the entry points (``SFPAnalysis``,
+   ``EvaluationEngine``, ``ReExecutionOpt`` for SFP; ``ListScheduler`` for
+   scheduling) — accepts a kernel instance or a registered name;
+2. a process-wide default set by ``set_default[_sched]_kernel`` (the CLI's
+   ``--sfp-kernel`` / ``--sched-kernel`` flags land here);
+3. the family's environment variable;
 4. ``auto``: the highest-priority backend whose ``is_available()`` is true.
 
-Because every registered backend is bit-identical (see
-:mod:`repro.kernels.base`), switching kernels never changes results — only
+Because every registered backend of a family is bit-identical (see the
+family base modules), switching kernels never changes results — only
 speed — so cached design points (in-memory memo tables and the persistent
 store) remain valid across kernel switches and the selection deliberately is
 **not** part of any cache key.
@@ -20,97 +28,187 @@ store) remain valid across kernel switches and the selection deliberately is
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Type, Union
+from typing import Dict, Generic, List, Optional, Type, TypeVar, Union
 
 from repro.core.exceptions import ModelError
-from repro.kernels.array_backend import ArrayKernel
 from repro.kernels.base import SFPKernel
-from repro.kernels.reference import ReferenceKernel
+from repro.kernels.sched_base import SchedulerKernel
 
-#: Environment variable consulted when no explicit selection was made.
+#: Environment variable consulted when no explicit SFP selection was made.
 KERNEL_ENV_VAR = "REPRO_SFP_KERNEL"
+
+#: Environment variable consulted when no explicit scheduler selection was made.
+SCHED_KERNEL_ENV_VAR = "REPRO_SCHED_KERNEL"
 
 #: Pseudo-name selecting the fastest available backend.
 AUTO = "auto"
 
-_KERNEL_CLASSES: Dict[str, Type[SFPKernel]] = {}
-_INSTANCES: Dict[str, SFPKernel] = {}
-_DEFAULT_NAME: Optional[str] = None
+KernelT = TypeVar("KernelT")
 
 
+class KernelRegistry(Generic[KernelT]):
+    """Registry + selection state of one kernel family."""
+
+    def __init__(self, family: str, base_class: type, env_var: str) -> None:
+        self.family = family
+        self.base_class = base_class
+        self.env_var = env_var
+        self._classes: Dict[str, Type[KernelT]] = {}
+        self._instances: Dict[str, KernelT] = {}
+        self._default_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def register(self, kernel_class: Type[KernelT]) -> Type[KernelT]:
+        """Register a backend class under its ``name`` (usable as a decorator)."""
+        name = kernel_class.name
+        if not name or name == AUTO:
+            raise ModelError(
+                f"Kernel class {kernel_class.__name__} needs a valid name"
+            )
+        existing = self._classes.get(name)
+        if existing is not None and existing is not kernel_class:
+            raise ModelError(f"Kernel name {name!r} is already registered")
+        self._classes[name] = kernel_class
+        return kernel_class
+
+    def names(self, available_only: bool = False) -> List[str]:
+        """Registered backend names, ``auto``-priority order (highest first)."""
+        names = sorted(
+            self._classes,
+            key=lambda name: (-self._classes[name].priority, name),
+        )
+        if available_only:
+            names = [name for name in names if self._classes[name].is_available()]
+        return names
+
+    def get(self, name: str) -> KernelT:
+        """The singleton instance of one backend (``auto`` resolves availability)."""
+        if name == AUTO:
+            for candidate in self.names(available_only=True):
+                return self.get(candidate)
+            raise ModelError(f"No {self.family} kernel backend is available")
+        kernel_class = self._classes.get(name)
+        if kernel_class is None:
+            raise ModelError(
+                f"Unknown {self.family} kernel {name!r}; registered: {self.names()}"
+            )
+        if not kernel_class.is_available():
+            raise ModelError(
+                f"{self.family} kernel {name!r} is not available in this environment"
+            )
+        instance = self._instances.get(name)
+        if instance is None:
+            instance = self._instances[name] = kernel_class()
+        return instance
+
+    def set_default(self, name: Optional[str]) -> Optional[KernelT]:
+        """Set (or clear, with ``None``) the process-wide default backend.
+
+        Returns the resolved instance so callers can report what was picked.
+        """
+        if name is None:
+            self._default_name = None
+            return None
+        kernel = self.get(name)  # validate before committing
+        self._default_name = name
+        return kernel
+
+    def active(self) -> KernelT:
+        """The backend implied by the selection precedence (module docstring)."""
+        if self._default_name is not None:
+            return self.get(self._default_name)
+        return self.get(os.environ.get(self.env_var, AUTO))
+
+    def resolve(self, kernel: Union[KernelT, str, None]) -> KernelT:
+        """Normalize an explicit selection (instance, name or ``None``)."""
+        if kernel is None:
+            return self.active()
+        if isinstance(kernel, self.base_class):
+            return kernel
+        return self.get(kernel)
+
+
+#: The two built-in families.
+SFP_KERNELS: KernelRegistry[SFPKernel] = KernelRegistry(
+    "SFP", SFPKernel, KERNEL_ENV_VAR
+)
+SCHED_KERNELS: KernelRegistry[SchedulerKernel] = KernelRegistry(
+    "scheduler", SchedulerKernel, SCHED_KERNEL_ENV_VAR
+)
+
+
+# ----------------------------------------------------------------------
+# SFP family — module-level API kept stable since PR 3.
+# ----------------------------------------------------------------------
 def register_kernel(kernel_class: Type[SFPKernel]) -> Type[SFPKernel]:
-    """Register a backend class under its ``name`` (usable as a decorator)."""
-    name = kernel_class.name
-    if not name or name == AUTO:
-        raise ModelError(f"Kernel class {kernel_class.__name__} needs a valid name")
-    existing = _KERNEL_CLASSES.get(name)
-    if existing is not None and existing is not kernel_class:
-        raise ModelError(f"Kernel name {name!r} is already registered")
-    _KERNEL_CLASSES[name] = kernel_class
-    return kernel_class
+    return SFP_KERNELS.register(kernel_class)
 
 
 def kernel_names(available_only: bool = False) -> List[str]:
-    """Registered backend names, ``auto``-priority order (highest first)."""
-    names = sorted(
-        _KERNEL_CLASSES,
-        key=lambda name: (-_KERNEL_CLASSES[name].priority, name),
-    )
-    if available_only:
-        names = [name for name in names if _KERNEL_CLASSES[name].is_available()]
-    return names
+    return SFP_KERNELS.names(available_only)
 
 
 def get_kernel(name: str) -> SFPKernel:
-    """The singleton instance of one backend (``auto`` resolves availability)."""
-    if name == AUTO:
-        for candidate in kernel_names(available_only=True):
-            return get_kernel(candidate)
-        raise ModelError("No SFP kernel backend is available")
-    kernel_class = _KERNEL_CLASSES.get(name)
-    if kernel_class is None:
-        raise ModelError(
-            f"Unknown SFP kernel {name!r}; registered: {kernel_names()}"
-        )
-    if not kernel_class.is_available():
-        raise ModelError(
-            f"SFP kernel {name!r} is not available in this environment"
-        )
-    instance = _INSTANCES.get(name)
-    if instance is None:
-        instance = _INSTANCES[name] = kernel_class()
-    return instance
+    return SFP_KERNELS.get(name)
 
 
 def set_default_kernel(name: Optional[str]) -> Optional[SFPKernel]:
-    """Set (or clear, with ``None``) the process-wide default backend.
-
-    Returns the resolved instance so callers can report what was picked.
-    """
-    global _DEFAULT_NAME
-    if name is None:
-        _DEFAULT_NAME = None
-        return None
-    kernel = get_kernel(name)  # validate before committing
-    _DEFAULT_NAME = name
-    return kernel
+    return SFP_KERNELS.set_default(name)
 
 
 def active_kernel() -> SFPKernel:
-    """The backend implied by the selection precedence (see module docstring)."""
-    if _DEFAULT_NAME is not None:
-        return get_kernel(_DEFAULT_NAME)
-    return get_kernel(os.environ.get(KERNEL_ENV_VAR, AUTO))
+    return SFP_KERNELS.active()
 
 
 def resolve_kernel(kernel: Union[SFPKernel, str, None]) -> SFPKernel:
-    """Normalize an explicit selection (instance, name or ``None``)."""
-    if kernel is None:
-        return active_kernel()
-    if isinstance(kernel, SFPKernel):
-        return kernel
-    return get_kernel(kernel)
+    return SFP_KERNELS.resolve(kernel)
 
+
+# ----------------------------------------------------------------------
+# Scheduler family — same shape, ``sched`` infix.
+# ----------------------------------------------------------------------
+def register_sched_kernel(
+    kernel_class: Type[SchedulerKernel],
+) -> Type[SchedulerKernel]:
+    return SCHED_KERNELS.register(kernel_class)
+
+
+def sched_kernel_names(available_only: bool = False) -> List[str]:
+    return SCHED_KERNELS.names(available_only)
+
+
+def get_sched_kernel(name: str) -> SchedulerKernel:
+    return SCHED_KERNELS.get(name)
+
+
+def set_default_sched_kernel(name: Optional[str]) -> Optional[SchedulerKernel]:
+    return SCHED_KERNELS.set_default(name)
+
+
+def active_sched_kernel() -> SchedulerKernel:
+    return SCHED_KERNELS.active()
+
+
+def resolve_sched_kernel(
+    kernel: Union[SchedulerKernel, str, None],
+) -> SchedulerKernel:
+    return SCHED_KERNELS.resolve(kernel)
+
+
+# ----------------------------------------------------------------------
+# Built-in backend registration.  The imports live at the bottom so that a
+# backend module importing back into this one mid-registration (e.g. the
+# scheduler backends pull in repro.scheduling, whose list scheduler resolves
+# its kernel through this registry) finds every function already defined.
+# ----------------------------------------------------------------------
+from repro.kernels.array_backend import ArrayKernel  # noqa: E402
+from repro.kernels.reference import ReferenceKernel  # noqa: E402
 
 register_kernel(ReferenceKernel)
 register_kernel(ArrayKernel)
+
+from repro.kernels.sched_flat import FlatSchedulerKernel  # noqa: E402
+from repro.kernels.sched_reference import ReferenceSchedulerKernel  # noqa: E402
+
+register_sched_kernel(ReferenceSchedulerKernel)
+register_sched_kernel(FlatSchedulerKernel)

@@ -19,11 +19,19 @@ The scheduler is deterministic: ties in priority are broken by process name so
 that repeated runs over the same inputs produce identical schedules (important
 both for reproducibility of the experiments and for the tabu-search mapping
 heuristic, which compares schedule lengths across small perturbations).
+
+The root-schedule construction itself (priorities, layer placement, bus
+reservation, recovery slack) runs in a pluggable *scheduler kernel backend*
+(:mod:`repro.kernels.sched_base`): ``reference`` is the per-object loop this
+class historically inlined, ``flat`` compiles the application into
+integer-indexed tables.  All backends are bit-identical — selection
+(``--sched-kernel`` / ``REPRO_SCHED_KERNEL`` / ``auto``) is a speed knob
+only and never part of an evaluation-engine cache key.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.comm.bus import Bus, SimpleBus
 from repro.core.application import Application
@@ -31,9 +39,16 @@ from repro.core.architecture import Architecture
 from repro.core.exceptions import SchedulingError
 from repro.core.mapping_model import ProcessMapping
 from repro.core.profile import ExecutionProfile
-from repro.scheduling.priorities import critical_path_priorities
-from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
-from repro.scheduling.slack import naive_recovery_slack, shared_recovery_slack
+from repro.kernels.registry import resolve_sched_kernel
+from repro.kernels.sched_base import (
+    SchedulerKernel,
+    ScheduleStructure,
+    SchedulingProblem,
+)
+from repro.scheduling.schedule import Schedule
+
+#: Accepted ``kernel=`` selections: an instance, a registered name or ``None``.
+SchedulerKernelSpec = Union[SchedulerKernel, str, None]
 
 
 class ListScheduler:
@@ -49,41 +64,46 @@ class ListScheduler:
         When ``True`` (default, the paper's approach) the recovery slack of a
         node covers the worst single victim ``k_j`` times; when ``False`` the
         naive per-process slack is reserved instead (ablation baseline).
+    kernel:
+        Scheduler kernel backend running the root-schedule construction (an
+        instance, a registered name, or ``None`` for the process-wide
+        selection).  A speed knob only: every backend is bit-identical.
     """
 
-    def __init__(self, bus: Optional[Bus] = None, slack_sharing: bool = True) -> None:
+    def __init__(
+        self,
+        bus: Optional[Bus] = None,
+        slack_sharing: bool = True,
+        kernel: SchedulerKernelSpec = None,
+    ) -> None:
         self.bus = bus if bus is not None else SimpleBus()
         self.slack_sharing = slack_sharing
+        self.kernel = resolve_sched_kernel(kernel)
         # One-slot memo of the application's static structure (scheduling
         # layers and per-process incoming messages).  The DSE stack schedules
         # the same application thousands of times in a row.  The memo holds a
         # strong reference to the application (so a recycled object address
         # can never alias a dead one) and re-derives when the identity or the
-        # graph sizes change.
+        # structural token — process/message names, edge endpoints and
+        # transmission times — changes, so in-place graph edits that preserve
+        # the process/message counts still invalidate it.
         self._structure_app: Optional[Application] = None
-        self._structure_guard: Optional[Tuple[int, int]] = None
-        self._structure: Optional[
-            Tuple[List[List[str]], Dict[str, List]]
-        ] = None
+        self._structure: Optional[ScheduleStructure] = None
 
-    def _application_structure(
-        self, application: Application
-    ) -> Tuple[List[List[str]], Dict[str, List]]:
-        """Static scheduling structure: (layers, incoming messages).
+    def _application_structure(self, application: Application) -> ScheduleStructure:
+        """Static scheduling structure: (layers, incoming messages, token).
 
         ``layers`` concatenates the topological generations of every task
         graph: all processes of layer ``i`` have their predecessors in layers
         ``< i``, which is exactly the set the ready-list loop would discover
         batch by batch — but precomputed once instead of rescanned per call.
         """
-        guard = (
-            application.number_of_processes(),
-            len(application.messages()),
-        )
+        token = application.structure_token()
+        structure = self._structure
         if (
             self._structure_app is not application
-            or self._structure_guard != guard
-            or self._structure is None
+            or structure is None
+            or structure.token != token
         ):
             graph_generations = [
                 graph.topological_generations() for graph in application.graphs
@@ -100,10 +120,10 @@ class ListScheduler:
             for graph in application.graphs:
                 for process in graph.process_names:
                     incoming[process] = graph.incoming_messages(process)
-            self._structure = (layers, incoming)
+            structure = ScheduleStructure(token=token, layers=layers, incoming=incoming)
+            self._structure = structure
             self._structure_app = application
-            self._structure_guard = guard
-        return self._structure
+        return structure
 
     # ------------------------------------------------------------------
     def schedule(
@@ -135,117 +155,14 @@ class ListScheduler:
                     )
                 budgets[name] = int(value)
 
-        priorities = critical_path_priorities(application, architecture, mapping, profile)
-        scheduled: Dict[str, ScheduledProcess] = {}
-        scheduled_messages: List[ScheduledMessage] = []
-        node_free: Dict[str, float] = {node.name: 0.0 for node in architecture}
-        self.bus.reset()
-
-        # Scheduling layers and incoming-message table are static per
-        # application and memoized: each layer is exactly the ready set the
-        # original ready-list loop would discover, so placing the layers in
-        # (-priority, name) order reproduces the original schedule.
-        layers, incoming = self._application_structure(application)
-        # Per-call node view: (name, wcet lookup key) resolved once per node
-        # instead of re-deriving type/hardening for each placed process.
-        node_info: Dict[str, Tuple[str, str, int]] = {
-            node.name: (node.name, node.node_type.name, node.hardening)
-            for node in architecture
-        }
-        node_of = mapping.node_of
-        for layer in layers:
-            for process in sorted(
-                layer, key=lambda process: (-priorities[process], process)
-            ):
-                entry, new_messages = self._place_process(
-                    process,
-                    incoming[process],
-                    node_info[node_of(process)],
-                    profile,
-                    scheduled,
-                    node_free,
-                )
-                scheduled[process] = entry
-                scheduled_messages.extend(new_messages)
-                node_free[entry.node] = entry.finish
-
-        slack = self._recovery_slack(
-            application, architecture, mapping, profile, budgets
+        problem = SchedulingProblem(
+            application=application,
+            architecture=architecture,
+            mapping=mapping,
+            profile=profile,
+            budgets=budgets,
+            bus=self.bus,
+            slack_sharing=self.slack_sharing,
+            structure=self._application_structure(application),
         )
-        return Schedule(
-            processes=list(scheduled.values()),
-            messages=scheduled_messages,
-            node_recovery_slack=slack,
-            reexecutions=budgets,
-            hardening=architecture.hardening_vector(),
-        )
-
-    # ------------------------------------------------------------------
-    def _place_process(
-        self,
-        process: str,
-        incoming_messages: List,
-        node_info: Tuple[str, str, int],
-        profile: ExecutionProfile,
-        scheduled: Dict[str, ScheduledProcess],
-        node_free: Dict[str, float],
-    ) -> Tuple[ScheduledProcess, List[ScheduledMessage]]:
-        """Compute the execution window of ``process`` and its input messages."""
-        node_name, type_name, hardening = node_info
-        earliest = node_free[node_name]
-        new_messages: List[ScheduledMessage] = []
-        for message in incoming_messages:
-            producer_entry = scheduled[message.source]
-            if producer_entry.node == node_name:
-                # Intra-node communication happens through local memory and is
-                # available as soon as the producer finishes.
-                earliest = max(earliest, producer_entry.finish)
-                continue
-            reservation = self.bus.reserve(
-                message.name,
-                producer_entry.node,
-                producer_entry.finish,
-                message.transmission_time,
-            )
-            new_messages.append(
-                ScheduledMessage(
-                    message=message.name,
-                    source_process=message.source,
-                    destination_process=message.destination,
-                    source_node=producer_entry.node,
-                    destination_node=node_name,
-                    start=reservation.start,
-                    finish=reservation.finish,
-                )
-            )
-            earliest = max(earliest, reservation.finish)
-        wcet = profile.wcet(process, type_name, hardening)
-        entry = ScheduledProcess(
-            process=process, node=node_name, start=earliest, finish=earliest + wcet
-        )
-        return entry, new_messages
-
-    def _recovery_slack(
-        self,
-        application: Application,
-        architecture: Architecture,
-        mapping: ProcessMapping,
-        profile: ExecutionProfile,
-        budgets: Mapping[str, int],
-    ) -> Dict[str, float]:
-        """Recovery slack reserved at the end of each node's schedule."""
-        slack: Dict[str, float] = {}
-        slack_function = shared_recovery_slack if self.slack_sharing else naive_recovery_slack
-        wcet = profile.wcet
-        for node in architecture:
-            type_name = node.node_type.name
-            hardening = node.hardening
-            pairs = [
-                (
-                    wcet(process, type_name, hardening),
-                    application.recovery_overhead_of(process),
-                )
-                for process in mapping.processes_on(node.name)
-            ]
-            slack[node.name] = slack_function(pairs, budgets.get(node.name, 0))
-        return slack
+        return self.kernel.build_schedule(problem)

@@ -75,6 +75,34 @@ class Schedule:
         # worst-case length are computed once on first query.
         self._by_node: Optional[Dict[str, List[ScheduledProcess]]] = None
         self._length: Optional[float] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def from_kernel(
+        cls,
+        processes_by_name: Dict[str, ScheduledProcess],
+        messages_by_name: Dict[str, ScheduledMessage],
+        node_recovery_slack: Dict[str, float],
+        reexecutions: Dict[str, int],
+        hardening: Dict[str, int],
+    ) -> "Schedule":
+        """Trusted constructor for scheduler kernels.
+
+        Takes ownership of the dictionaries without copying and skips the
+        duplicate-entry check — the kernel's placement loop guarantees one
+        entry per process/message.  Semantically identical to the public
+        constructor for such inputs.
+        """
+        schedule = cls.__new__(cls)
+        schedule._processes = processes_by_name
+        schedule._messages = messages_by_name
+        schedule.node_recovery_slack = node_recovery_slack
+        schedule.reexecutions = reexecutions
+        schedule.hardening = hardening
+        schedule._by_node = None
+        schedule._length = None
+        schedule._hash = None
+        return schedule
 
     def _node_table(self) -> Dict[str, List[ScheduledProcess]]:
         if self._by_node is None:
@@ -156,6 +184,18 @@ class Schedule:
     def meets_deadline(self, deadline: float) -> bool:
         return self.length <= deadline
 
+    def seed_worst_case_length(self, length: float) -> None:
+        """Install a precomputed worst-case length (scheduler-kernel fast path).
+
+        The caller must supply the exact float the lazy :attr:`length`
+        property would compute — kernels derive it from their per-node
+        completion arrays, where ``max`` over the same values yields the
+        same float regardless of evaluation order.  Seeding only skips the
+        lazy per-node table construction; every other query still derives
+        from the entry dicts.
+        """
+        self._length = length
+
     # ------------------------------------------------------------------
     # equality
     # ------------------------------------------------------------------
@@ -181,7 +221,29 @@ class Schedule:
             and self.hardening == other.hardening
         )
 
-    __hash__ = None  # mutable-by-convention container; not hashable
+    def __hash__(self) -> int:
+        """Value hash consistent with :meth:`__eq__`.
+
+        A schedule is immutable by convention once built (the heuristics only
+        read it; the scheduler never hands the same instance out twice) —
+        hashing relies on that convention and caches the result, making equal
+        schedules usable as dict/set keys (e.g. when deduplicating design
+        points across strategies).  The entry dicts are hashed as frozensets
+        of their values: the keys are derivable from the values, so two
+        ``__eq__``-equal schedules always hash equally.
+        """
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(
+                (
+                    frozenset(self._processes.values()),
+                    frozenset(self._messages.values()),
+                    frozenset(self.node_recovery_slack.items()),
+                    frozenset(self.reexecutions.items()),
+                    frozenset(self.hardening.items()),
+                )
+            )
+        return value
 
     # ------------------------------------------------------------------
     # validation and reporting
@@ -213,7 +275,12 @@ class Schedule:
                         f"Processes {first.process} and {second.process} overlap "
                         f"on node {node}"
                     )
-        messages = self.messages
+        # Zero-duration messages occupy no bus time: the half-open window
+        # [t, t) conflicts with nothing (exactly the arbitration rule of
+        # ``Bus._conflicts``), so they are excluded from the pairwise scan —
+        # both as non-overlapping themselves and so they cannot mask a real
+        # overlap between their neighbours in the sorted adjacency check.
+        messages = [entry for entry in self.messages if entry.finish > entry.start]
         for first, second in zip(messages, messages[1:]):
             if second.start < first.finish - 1e-9:
                 raise SchedulingError(

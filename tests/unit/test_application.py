@@ -246,3 +246,69 @@ class TestBuildChainApplication:
             "chain", [5.0], deadline=10.0, reliability_goal=0.99, recovery_overhead=0.0
         )
         assert application.messages() == []
+
+
+class TestStructureToken:
+    """The structural token guards memoized derived structure downstream."""
+
+    def _chain(self) -> TaskGraph:
+        graph = TaskGraph("G")
+        graph.add_process(Process("A", nominal_wcet=5.0))
+        graph.add_process(Process("B", nominal_wcet=10.0))
+        graph.add_process(Process("C", nominal_wcet=15.0))
+        graph.add_message(Message("m1", "A", "B", transmission_time=1.0))
+        graph.add_message(Message("m2", "B", "C", transmission_time=2.0))
+        return graph
+
+    def test_token_stable_without_mutation(self):
+        graph = self._chain()
+        assert graph.structure_token() == graph.structure_token()
+
+    def test_count_preserving_rewire_changes_token(self):
+        graph = self._chain()
+        before = graph.structure_token()
+        graph.remove_message("B", "C")
+        graph.add_message(Message("m2", "A", "C", transmission_time=2.0))
+        assert len(graph.messages) == 2  # counts unchanged...
+        assert graph.structure_token() != before  # ...token not
+
+    def test_renamed_message_changes_token(self):
+        graph = self._chain()
+        before = graph.structure_token()
+        graph.remove_message("A", "B")
+        graph.add_message(Message("m1-renamed", "A", "B", transmission_time=1.0))
+        assert graph.structure_token() != before
+
+    def test_changed_transmission_time_changes_token(self):
+        graph = self._chain()
+        before = graph.structure_token()
+        graph.remove_message("A", "B")
+        graph.add_message(Message("m1", "A", "B", transmission_time=3.0))
+        assert graph.structure_token() != before
+
+    def test_remove_message_unknown_edge_raises(self):
+        graph = self._chain()
+        with pytest.raises(ModelError, match="No message from"):
+            graph.remove_message("A", "C")
+
+    def test_removed_edge_restores_schedulability_queries(self):
+        graph = self._chain()
+        removed = graph.remove_message("B", "C")
+        assert removed.name == "m2"
+        assert graph.incoming_messages("C") == []
+        assert "C" in graph.sources() or graph.predecessors("C") == []
+
+    def test_application_token_covers_all_graphs(self):
+        application = Application(
+            "app", deadline=100.0, reliability_goal=0.99, recovery_overhead=1.0
+        )
+        first = application.new_graph("G1")
+        first.add_process(Process("A", nominal_wcet=5.0))
+        before = application.structure_token()
+        second = application.new_graph("G2")
+        second.add_process(Process("B", nominal_wcet=5.0))
+        mid = application.structure_token()
+        assert mid != before
+        second.add_process(Process("C", nominal_wcet=5.0))
+        second.add_message(Message("m", "B", "C", transmission_time=1.0))
+        assert application.structure_token() != mid

@@ -111,7 +111,7 @@ def test_unavailable_backend_skipped_by_auto_and_rejected_explicitly(monkeypatch
         def is_available(cls):
             return False
 
-    monkeypatch.setitem(registry_module._KERNEL_CLASSES, Phantom.name, Phantom)
+    monkeypatch.setitem(registry_module.SFP_KERNELS._classes, Phantom.name, Phantom)
     assert Phantom.name not in kernel_names(available_only=True)
     assert get_kernel(AUTO).name != Phantom.name
     with pytest.raises(ModelError, match="not available"):
@@ -138,3 +138,171 @@ def test_appendix_a2_anchor_values(name):
     assert exceeds_one == 1.03e-09
     union = kernel.system_failure([exceeds_one, exceeds_one])
     assert union >= exceeds_one
+
+
+# ----------------------------------------------------------------------
+# Scheduler kernel family: same registry machinery, ``sched`` infix.
+# ----------------------------------------------------------------------
+from repro.comm.bus import Bus, SimpleBus  # noqa: E402
+from repro.kernels import (  # noqa: E402
+    SCHED_KERNEL_ENV_VAR,
+    FlatSchedulerKernel,
+    ReferenceSchedulerKernel,
+    SchedulerKernel,
+    active_sched_kernel,
+    get_sched_kernel,
+    resolve_sched_kernel,
+    sched_kernel_names,
+    set_default_sched_kernel,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_sched_selection(monkeypatch):
+    """Each test starts with no scheduler default and no env override."""
+    monkeypatch.delenv(SCHED_KERNEL_ENV_VAR, raising=False)
+    set_default_sched_kernel(None)
+    yield
+    set_default_sched_kernel(None)
+
+
+def test_scheduler_backends_registered():
+    names = sched_kernel_names()
+    assert "reference" in names
+    assert "flat" in names
+
+
+def test_auto_prefers_the_flat_scheduler_backend():
+    assert sched_kernel_names(available_only=True)[0] == "flat"
+    assert isinstance(get_sched_kernel(AUTO), FlatSchedulerKernel)
+    assert isinstance(active_sched_kernel(), FlatSchedulerKernel)
+
+
+def test_sched_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(SCHED_KERNEL_ENV_VAR, "reference")
+    assert isinstance(active_sched_kernel(), ReferenceSchedulerKernel)
+
+
+def test_set_default_sched_kernel_overrides_env(monkeypatch):
+    monkeypatch.setenv(SCHED_KERNEL_ENV_VAR, "reference")
+    picked = set_default_sched_kernel("flat")
+    assert isinstance(picked, FlatSchedulerKernel)
+    assert isinstance(active_sched_kernel(), FlatSchedulerKernel)
+    set_default_sched_kernel(None)
+    assert isinstance(active_sched_kernel(), ReferenceSchedulerKernel)
+
+
+def test_unknown_sched_kernel_names_its_family():
+    with pytest.raises(ModelError, match="Unknown scheduler kernel"):
+        get_sched_kernel("gpu-on-a-toaster")
+
+
+def test_families_do_not_share_a_namespace():
+    # "array" is an SFP kernel, "flat" a scheduler kernel; neither resolves
+    # in the other family even though both registries hold a "reference".
+    with pytest.raises(ModelError):
+        get_sched_kernel("array")
+    with pytest.raises(ModelError):
+        get_kernel("flat")
+    assert type(get_kernel("reference")) is ReferenceKernel
+    assert type(get_sched_kernel("reference")) is ReferenceSchedulerKernel
+
+
+def test_resolve_sched_kernel_accepts_instance_name_and_none():
+    instance = FlatSchedulerKernel()
+    assert resolve_sched_kernel(instance) is instance
+    assert isinstance(resolve_sched_kernel("reference"), ReferenceSchedulerKernel)
+    assert isinstance(resolve_sched_kernel(None), SchedulerKernel)
+
+
+def test_sched_register_rejects_duplicate_names():
+    class Impostor(SchedulerKernel):
+        name = "reference"
+
+    with pytest.raises(ModelError, match="already registered"):
+        registry_module.register_sched_kernel(Impostor)
+
+
+def test_flat_kernel_falls_back_to_reference_for_unknown_bus():
+    """A Bus subclass with a custom policy must get the reference path."""
+
+    class EveryOtherSlotBus(SimpleBus):
+        """Doubles every window's start — not reproducible from flat tables."""
+
+        def _find_window(self, sender_node, earliest_start, duration):
+            return 2.0 * super()._find_window(sender_node, earliest_start, duration)
+
+    from tests.conftest import build_diamond_application, uniform_profile_for
+    from repro.core.architecture import Architecture, HVersion, Node, NodeType
+    from repro.core.mapping_model import ProcessMapping
+    from repro.scheduling.list_scheduler import ListScheduler
+
+    application = build_diamond_application(message_time=2.0)
+    node_types = [
+        NodeType("TA", [HVersion(1, 1.0)]),
+        NodeType("TB", [HVersion(1, 1.0)]),
+    ]
+    profile = uniform_profile_for(application, node_types)
+    architecture = Architecture(
+        [Node("NA", node_types[0]), Node("NB", node_types[1])]
+    )
+    mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+
+    flat = ListScheduler(bus=EveryOtherSlotBus(), kernel="flat").schedule(
+        application, architecture, mapping, profile
+    )
+    reference = ListScheduler(bus=EveryOtherSlotBus(), kernel="reference").schedule(
+        application, architecture, mapping, profile
+    )
+    assert flat == reference
+    # The custom policy actually fired (windows were doubled), so the flat
+    # backend cannot have used its own SimpleBus gap search.
+    assert flat.message_entry("mAB").start == 2.0 * 10.0
+
+
+def test_flat_kernel_recompiles_after_in_place_profile_and_overhead_edits():
+    """In-place WCET/mu edits must invalidate the flat kernel's compiled tables.
+
+    Regression: the compiled cache was guarded by (structure, profile)
+    identity only, so overwriting a profile entry or a recovery overhead
+    replayed stale snapshot floats while the reference backend read the live
+    objects.
+    """
+    from tests.conftest import build_diamond_application, uniform_profile_for
+    from repro.core.architecture import Architecture, HVersion, Node, NodeType
+    from repro.core.mapping_model import ProcessMapping
+    from repro.scheduling.list_scheduler import ListScheduler
+
+    application = build_diamond_application(message_time=2.0)
+    node_types = [
+        NodeType("TA", [HVersion(1, 1.0)]),
+        NodeType("TB", [HVersion(1, 1.0)]),
+    ]
+    profile = uniform_profile_for(application, node_types)
+    architecture = Architecture(
+        [Node("NA", node_types[0]), Node("NB", node_types[1])]
+    )
+    mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+    budgets = {"NA": 1, "NB": 1}
+
+    flat = ListScheduler(kernel="flat")
+    reference = ListScheduler(kernel="reference")
+    assert flat.schedule(
+        application, architecture, mapping, profile, budgets
+    ) == reference.schedule(application, architecture, mapping, profile, budgets)
+
+    # Overwrite one WCET in place: A now takes 30 ms instead of 10 ms on TA.
+    profile.add_entry("A", "TA", 1, 30.0, 1e-6)
+    after_wcet = flat.schedule(application, architecture, mapping, profile, budgets)
+    assert after_wcet == reference.schedule(
+        application, architecture, mapping, profile, budgets
+    )
+    assert after_wcet.entry("A").finish == 30.0
+
+    # Edit a recovery overhead in place: slack must follow the live value.
+    application.set_recovery_overhead("A", 50.0)
+    after_mu = flat.schedule(application, architecture, mapping, profile, budgets)
+    assert after_mu == reference.schedule(
+        application, architecture, mapping, profile, budgets
+    )
+    assert after_mu.node_recovery_slack["NA"] == 30.0 + 50.0  # budget 1 × (t + mu)

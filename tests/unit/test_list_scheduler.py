@@ -157,3 +157,69 @@ class TestSchedulerWithTDMABus:
         assert message.start >= 75.0
         assert message.start % 40.0 < 20.0  # inside an N1 slot
         assert schedule.entry("P3").start >= message.finish
+
+
+class TestStructureMemoInvalidation:
+    """In-place graph edits must invalidate the memoized scheduling structure.
+
+    Regression: the memo guard used to key on (process count, message count)
+    only, so a rewired edge or a renamed message — edits that preserve both
+    counts — silently reused stale layers and incoming-message tables.  The
+    guard now keys on the application's structural token.
+    """
+
+    def _two_node_problem(self, application):
+        node_type = NodeType("N", [HVersion(1, 1.0)])
+        other = NodeType("M", [HVersion(1, 1.0)])
+        profile = uniform_profile_for(application, [node_type, other])
+        architecture = Architecture([Node("NA", node_type), Node("NB", other)])
+        mapping = ProcessMapping({"A": "NA", "B": "NB", "C": "NA", "D": "NB"})
+        return architecture, mapping, profile
+
+    def test_rewired_edge_yields_fresh_schedule(self):
+        application = build_diamond_application(message_time=2.0)
+        architecture, mapping, profile = self._two_node_problem(application)
+        scheduler = ListScheduler()
+        stale = scheduler.schedule(application, architecture, mapping, profile)
+        # Rewire B -> D into A -> D: same process and message counts, but D
+        # now depends on A, putting a new message (from another node) on the
+        # bus.  A stale incoming table would reproduce `stale` instead.
+        graph = next(iter(application.graphs))
+        graph.remove_message("B", "D")
+        graph.add_message(Message("mAD", "A", "D", transmission_time=2.0))
+        rescheduled = scheduler.schedule(application, architecture, mapping, profile)
+        fresh = ListScheduler().schedule(application, architecture, mapping, profile)
+        assert rescheduled == fresh
+        assert rescheduled != stale
+        assert rescheduled.has_message("mAD")
+        assert not rescheduled.has_message("mBD")
+
+    def test_renamed_message_yields_fresh_schedule(self):
+        application = build_diamond_application(message_time=2.0)
+        architecture, mapping, profile = self._two_node_problem(application)
+        scheduler = ListScheduler()
+        stale = scheduler.schedule(application, architecture, mapping, profile)
+        assert stale.has_message("mAB")
+        graph = next(iter(application.graphs))
+        removed = graph.remove_message("A", "B")
+        graph.add_message(
+            Message("renamed", "A", "B", transmission_time=removed.transmission_time)
+        )
+        rescheduled = scheduler.schedule(application, architecture, mapping, profile)
+        assert rescheduled == ListScheduler().schedule(
+            application, architecture, mapping, profile
+        )
+        assert rescheduled.has_message("renamed")
+        assert not rescheduled.has_message("mAB")
+
+    def test_changed_transmission_time_yields_fresh_schedule(self):
+        application = build_diamond_application(message_time=2.0)
+        architecture, mapping, profile = self._two_node_problem(application)
+        scheduler = ListScheduler()
+        stale = scheduler.schedule(application, architecture, mapping, profile)
+        graph = next(iter(application.graphs))
+        graph.remove_message("A", "B")
+        graph.add_message(Message("mAB", "A", "B", transmission_time=9.0))
+        rescheduled = scheduler.schedule(application, architecture, mapping, profile)
+        assert rescheduled.message_entry("mAB").duration == 9.0
+        assert rescheduled != stale

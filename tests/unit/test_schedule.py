@@ -147,3 +147,70 @@ class TestGanttRendering:
         assert "bus" in text
         assert "340.0" in text
         assert "k=1" in text
+
+
+class TestScheduleHashing:
+    """Value hash consistent with value __eq__ (schedules as dict/set keys)."""
+
+    def test_equal_schedules_hash_equal(self):
+        first, second = _simple_schedule(), _simple_schedule()
+        assert first == second
+        assert first is not second
+        assert hash(first) == hash(second)
+
+    def test_set_deduplicates_equal_schedules(self):
+        assert len({_simple_schedule(), _simple_schedule()}) == 1
+
+    def test_usable_as_dict_key(self):
+        table = {_simple_schedule(): "cached"}
+        assert table[_simple_schedule()] == "cached"
+
+    def test_different_schedules_hash_differently(self):
+        # Not guaranteed by the hash contract, but a collision across this
+        # change would point at a degenerate hash implementation.
+        other = _simple_schedule()
+        other.node_recovery_slack["N1"] = 999.0
+        assert hash(other) != hash(_simple_schedule())
+
+    def test_hash_is_cached_before_mutation(self):
+        # Immutability is by convention; hashing snapshots the first call.
+        schedule = _simple_schedule()
+        before = hash(schedule)
+        schedule.node_recovery_slack["N1"] = 999.0
+        assert hash(schedule) == before
+
+
+class TestZeroDurationMessageValidation:
+    """A zero-duration message occupies no bus time (half-open [t, t)): the
+    bus grants it inside other windows (`Bus._conflicts` finds no conflict),
+    so validate must not flag it as an overlap — nor let it mask a real one.
+    """
+
+    def _schedule_with_messages(self, messages):
+        return Schedule(
+            processes=[ScheduledProcess("P1", "N1", 0.0, 5.0)],
+            messages=messages,
+            node_recovery_slack={"N1": 0.0},
+            reexecutions={"N1": 0},
+            hardening={"N1": 1},
+        )
+
+    def test_zero_duration_inside_another_window_is_valid(self):
+        schedule = self._schedule_with_messages(
+            [
+                ScheduledMessage("m1", "P1", "P2", "N1", "N2", 5.0, 7.0),
+                ScheduledMessage("m2", "P1", "P3", "N1", "N2", 5.0, 5.0),
+            ]
+        )
+        schedule.validate()
+
+    def test_zero_duration_does_not_mask_a_real_overlap(self):
+        schedule = self._schedule_with_messages(
+            [
+                ScheduledMessage("m1", "P1", "P2", "N1", "N2", 5.0, 7.0),
+                ScheduledMessage("m2", "P1", "P3", "N1", "N2", 5.0, 5.0),
+                ScheduledMessage("m3", "P1", "P4", "N1", "N2", 6.0, 8.0),
+            ]
+        )
+        with pytest.raises(SchedulingError, match="overlap on the bus"):
+            schedule.validate()
