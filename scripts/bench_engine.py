@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Benchmark smoke run: fast-preset Fig. 6a sweep, per kernel backend.
+"""Benchmark smoke run: the ``fig6a`` scenario, per kernel backend.
 
-For every registered (available) SFP kernel backend *and* every scheduler
-kernel backend the sweep is rerun on a fresh engine and timed; acceptance
-percentages must agree bit for bit across backends of both families (they
-are required to be bit-identical — a disagreement fails the run).  A kernel
-microbenchmark times the raw SFP primitives, and a cold-vs-warm pass against
-a throwaway persistent design-point store records what a second CLI run of
-the same sweep saves.
+Every sweep is executed through the ``repro.api`` session layer — one
+:class:`RunReport` per (SFP kernel × scheduler kernel × store) combination —
+so this script is also an end-to-end exercise of the declarative RunConfig
+path.  Acceptance payloads must agree bit for bit across backends of both
+families (they are required to be bit-identical — a disagreement fails the
+run).  A kernel microbenchmark times the raw SFP primitives, and a
+cold-vs-warm pass against a throwaway persistent design-point store records
+what a second run of the same sweep saves.
 
 Writes a JSON timing artifact used by CI for trajectory tracking.  Run from
 the repository root:
@@ -24,19 +25,12 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.core.fault_model import SER_MEDIUM
-from repro.experiments.synthetic import (
-    AcceptanceExperiment,
-    ExperimentPreset,
-    PAPER_HPD_VALUES,
-)
+from repro import api
 from repro.kernels import (
     active_sched_kernel,
     get_kernel,
     kernel_names,
     sched_kernel_names,
-    set_default_kernel,
-    set_default_sched_kernel,
 )
 
 #: Representative node workloads for the kernel microbenchmark: (per-process
@@ -50,29 +44,34 @@ MICRO_ROUNDS = 2000
 
 
 def _run_sweep(
-    preset: ExperimentPreset,
-    kernel_name: str,
+    preset: str,
+    sfp_kernel: str,
     store_dir=None,
-    sched_kernel_name=None,
-):
-    """One full Fig. 6a sweep on a fresh experiment; returns timing payload."""
-    set_default_kernel(kernel_name)
-    if sched_kernel_name is not None:
-        set_default_sched_kernel(sched_kernel_name)
-    try:
-        experiment = AcceptanceExperiment(preset=preset, store_dir=store_dir)
-        start = time.perf_counter()
-        sweep = experiment.hpd_sweep(
-            ser=SER_MEDIUM, hpd_values=PAPER_HPD_VALUES, max_cost=20.0
-        )
-        wall_clock = time.perf_counter() - start
-    finally:
-        set_default_kernel(None)
-        set_default_sched_kernel(None)
+    sched_kernel=None,
+) -> dict:
+    """One ``fig6a`` scenario run through the API; returns a timing payload.
+
+    The RunConfig pins the kernel selection for the run's scope only — no
+    process-global state to set and restore.
+    """
+    config = api.RunConfig(
+        preset=preset,
+        sfp_kernel=sfp_kernel,
+        sched_kernel=sched_kernel,
+        cache_dir=store_dir,
+    )
+    with api.Session(config) as session:
+        # Build the benchmark suite before the timed runner: generation is
+        # identical across kernels and would otherwise dilute the per-kernel
+        # speedups (the report's wall clock then measures the sweep only,
+        # matching the pre-API benchmark trajectory).
+        session.experiment()
+        report = session.run("fig6a")
     return {
-        "wall_clock_seconds": round(wall_clock, 3),
-        "cache": experiment.cache_report(),
-        "acceptance": {f"{hpd:g}": values for hpd, values in sweep.items()},
+        "wall_clock_seconds": round(report.timings["wall_clock_seconds"], 3),
+        "cache": report.cache,
+        "acceptance": report.results["acceptance"],
+        "kernels": report.kernels,
     }
 
 
@@ -114,11 +113,6 @@ def main() -> int:
     )
     arguments = parser.parse_args()
 
-    preset = {
-        "smoke": ExperimentPreset.smoke,
-        "fast": ExperimentPreset.fast,
-    }[arguments.preset]()
-
     names = kernel_names(available_only=True)
     # The SFP-kernel loop never overrides the scheduler selection, so the
     # headline sweeps run on the ambient choice (REPRO_SCHED_KERNEL or auto)
@@ -126,7 +120,7 @@ def main() -> int:
     headline_sched = active_sched_kernel().name
     kernels = {}
     for name in names:
-        run = _run_sweep(preset, name)
+        run = _run_sweep(arguments.preset, name)
         run["micro"] = _microbench(name)
         kernels[name] = run
 
@@ -148,7 +142,7 @@ def main() -> int:
     sched_names = sched_kernel_names(available_only=True)
     sched_kernels = {}
     for name in sched_names:
-        sched_kernels[name] = _run_sweep(preset, names[0], sched_kernel_name=name)
+        sched_kernels[name] = _run_sweep(arguments.preset, names[0], sched_kernel=name)
     sched_reference = sched_kernels.get("reference")
     for name, run in sched_kernels.items():
         if (
@@ -165,8 +159,8 @@ def main() -> int:
 
     # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
-        cold = _run_sweep(preset, names[0], store_dir=Path(store_dir))
-        warm = _run_sweep(preset, names[0], store_dir=Path(store_dir))
+        cold = _run_sweep(arguments.preset, names[0], store_dir=Path(store_dir))
+        warm = _run_sweep(arguments.preset, names[0], store_dir=Path(store_dir))
     if warm["acceptance"] != kernels[names[0]]["acceptance"]:
         errors.append("warm persistent-store run changed acceptance output")
     if warm["cache"]["disk_hits"] == 0:

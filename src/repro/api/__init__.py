@@ -1,0 +1,63 @@
+"""``repro.api`` — the unified programmatic front door.
+
+Declare *what* to run (a scenario id), *how* to run it (a frozen
+:class:`RunConfig`), execute through a :class:`Session`, and consume a
+structured :class:`RunReport`:
+
+>>> from repro.api import run, RunConfig
+>>> report = run("fig6a", RunConfig(preset="fast"))
+>>> report.results["acceptance"]["5"]["OPT"]
+100.0
+
+The module replaces ad-hoc flag/env plumbing and mutable process-global
+kernel defaults with one documented resolution order (explicit config >
+environment variable > ``auto``; see :mod:`repro.api.config`) and scoped
+kernel selection (:func:`repro.kernels.registry.use_kernel`).  The CLI's
+``repro-ftes run`` is a thin driver over exactly this API.
+"""
+
+from typing import Optional
+
+from repro.api.config import DEFAULT_CACHE_SIZE_MB, PRESETS, RunConfig
+from repro.api.registry import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.api.report import REPORT_SCHEMA_VERSION, RunReport
+from repro.api.session import Session
+
+# Importing the module registers the built-in scenarios.
+import repro.api.scenarios  # noqa: F401,E402  (registration side effect)
+
+
+def run(scenario_id: str, config: Optional[RunConfig] = None) -> RunReport:
+    """Run one registered scenario under ``config`` and return its report.
+
+    When ``config.output`` is set, the report is also written there as JSON
+    (only this one-shot helper writes; ``Session.run`` never does, so
+    multi-scenario sessions cannot silently overwrite earlier reports).
+    """
+    with Session(config) as session:
+        report = session.run(scenario_id)
+    if report.config.output is not None:
+        report.config.output.write_text(report.to_json(), encoding="utf-8")
+    return report
+
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE_MB",
+    "PRESETS",
+    "REPORT_SCHEMA_VERSION",
+    "RunConfig",
+    "RunReport",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "Session",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run",
+]

@@ -1,0 +1,143 @@
+"""Declarative run configuration of the ``repro.api`` session layer.
+
+A :class:`RunConfig` is the single typed object through which every knob of
+a scenario run is expressed — kernel backends, persistent cache, worker
+processes, seed, experiment preset and report output.  It replaces the
+previous mix of mutable process-global defaults (``set_default_kernel`` /
+``set_default_sched_kernel``), environment variables and per-subcommand
+CLI flags.
+
+**Resolution order** (documented here once, applied everywhere): for each
+knob that also has an environment variable, the effective value is
+
+1. the explicit :class:`RunConfig` field, when not ``None``;
+2. the environment variable (``REPRO_SFP_KERNEL`` / ``REPRO_SCHED_KERNEL``);
+3. ``auto`` — the highest-priority backend whose ``is_available()`` is true.
+
+(The deprecated process-global default set by ``set_default_*_kernel``
+slots between 1 and 2 for backwards compatibility; new code should not use
+it.)  Kernel backends are bit-identical by contract, so this order is a
+speed knob only and never changes results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.exceptions import ModelError
+from repro.engine.store import DEFAULT_MAX_BYTES
+from repro.experiments.synthetic import ExperimentPreset
+from repro.kernels.registry import SCHED_KERNELS, SFP_KERNELS
+
+#: Preset names accepted by :attr:`RunConfig.preset`.
+PRESETS = {
+    "smoke": ExperimentPreset.smoke,
+    "fast": ExperimentPreset.fast,
+    "paper": ExperimentPreset.paper,
+}
+
+#: Default size cap of the persistent cache, in MiB.
+DEFAULT_CACHE_SIZE_MB = DEFAULT_MAX_BYTES // (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen, declarative configuration of one scenario run.
+
+    Parameters
+    ----------
+    sfp_kernel / sched_kernel:
+        Explicit kernel backend names (or ``"auto"``).  ``None`` defers to
+        the family's environment variable, then ``auto`` (see the module
+        docstring for the full resolution order).
+    cache_dir:
+        Directory of the persistent design-point store; ``None`` disables
+        persistence.
+    cache_size_mb:
+        LRU size cap of the store directory, in MiB.
+    jobs:
+        Worker processes for per-application loops (``1`` = serial,
+        ``0`` = one per CPU).
+    seed:
+        Overrides the preset's ``base_seed`` for synthetic benchmark
+        generation; ``None`` keeps the preset's published seed.
+    preset:
+        Experiment size/effort preset: ``smoke``, ``fast`` or ``paper``.
+    output:
+        Optional path where :meth:`Session.run` writes the structured
+        :class:`~repro.api.report.RunReport` as JSON.
+    """
+
+    sfp_kernel: Optional[str] = None
+    sched_kernel: Optional[str] = None
+    cache_dir: Optional[Path] = None
+    cache_size_mb: int = DEFAULT_CACHE_SIZE_MB
+    jobs: int = 1
+    seed: Optional[int] = None
+    preset: str = "fast"
+    output: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("cache_dir", "output"):
+            value = getattr(self, field_name)
+            if value is not None:
+                object.__setattr__(self, field_name, Path(value).expanduser())
+        if self.preset not in PRESETS:
+            raise ModelError(
+                f"Unknown preset {self.preset!r}; expected one of {sorted(PRESETS)}"
+            )
+        if self.jobs < 0:
+            raise ModelError(f"jobs must be >= 0 (1 = serial, 0 = one per CPU), got {self.jobs}")
+        if self.cache_size_mb < 1:
+            raise ModelError(f"cache_size_mb must be >= 1, got {self.cache_size_mb}")
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolved_sfp_kernel(self) -> str:
+        """Concrete SFP backend name under the documented resolution order."""
+        if self.sfp_kernel is not None:
+            return SFP_KERNELS.get(self.sfp_kernel).name
+        return SFP_KERNELS.active().name
+
+    def resolved_sched_kernel(self) -> str:
+        """Concrete scheduler backend name under the resolution order."""
+        if self.sched_kernel is not None:
+            return SCHED_KERNELS.get(self.sched_kernel).name
+        return SCHED_KERNELS.active().name
+
+    def resolved_preset(self) -> ExperimentPreset:
+        """The :class:`ExperimentPreset` instance, reseeded when ``seed`` is set."""
+        preset = PRESETS[self.preset]()
+        if self.seed is not None:
+            preset = replace(preset, base_seed=self.seed)
+        return preset
+
+    @property
+    def cache_max_bytes(self) -> int:
+        return self.cache_size_mb * 1024 * 1024
+
+    # ------------------------------------------------------------------
+    # serialization (lossless; used by RunReport round-trips)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sfp_kernel": self.sfp_kernel,
+            "sched_kernel": self.sched_kernel,
+            "cache_dir": str(self.cache_dir) if self.cache_dir is not None else None,
+            "cache_size_mb": self.cache_size_mb,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "preset": self.preset,
+            "output": str(self.output) if self.output is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ModelError(f"Unknown RunConfig fields: {sorted(unknown)}")
+        return cls(**dict(data))

@@ -1,0 +1,93 @@
+"""Declarative scenario registry: one contract for every experiment.
+
+A *scenario* is a named, self-describing unit of work — a paper figure, a
+case study or a future synthetic workload — registered with
+:func:`register_scenario` and executed through ``repro.api.run`` or the
+generic CLI driver (``repro-ftes run <scenario>``).  Every scenario obeys
+the same :class:`ScenarioSpec` contract: its runner receives the active
+:class:`~repro.api.session.Session` (configuration, kernel scope, shared
+experiment/engine construction) and returns a :class:`ScenarioOutcome`
+holding a JSON-native results payload plus its human-readable rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.session import Session
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What a scenario runner returns: results payload + rendered text.
+
+    ``payload`` must be JSON-native (string keys, lists not tuples) so the
+    surrounding :class:`~repro.api.report.RunReport` round-trips losslessly.
+    """
+
+    payload: Dict[str, Any]
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Registry entry describing one runnable scenario."""
+
+    scenario_id: str
+    title: str
+    description: str = ""
+    #: Paper figure/section the scenario reproduces, when applicable.
+    figure: Optional[str] = None
+    runner: Callable[["Session"], ScenarioOutcome] = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    scenario_id: str,
+    *,
+    title: str,
+    description: str = "",
+    figure: Optional[str] = None,
+) -> Callable[[Callable[["Session"], ScenarioOutcome]], Callable[["Session"], ScenarioOutcome]]:
+    """Decorator registering a scenario runner under ``scenario_id``.
+
+    The runner keeps working as a plain function; registration only makes it
+    reachable through ``api.run(scenario_id, config)`` and the CLI driver.
+    """
+
+    def decorator(
+        runner: Callable[["Session"], ScenarioOutcome],
+    ) -> Callable[["Session"], ScenarioOutcome]:
+        existing = _SCENARIOS.get(scenario_id)
+        if existing is not None and existing.runner is not runner:
+            raise ModelError(f"Scenario id {scenario_id!r} is already registered")
+        _SCENARIOS[scenario_id] = ScenarioSpec(
+            scenario_id=scenario_id,
+            title=title,
+            description=description,
+            figure=figure,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def get_scenario(scenario_id: str) -> ScenarioSpec:
+    """Look a scenario up by id; unknown ids fail with the known list."""
+    spec = _SCENARIOS.get(scenario_id)
+    if spec is None:
+        known = ", ".join(sorted(_SCENARIOS)) or "<none>"
+        raise ModelError(f"Unknown scenario {scenario_id!r}; registered: {known}")
+    return spec
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by id."""
+    return [_SCENARIOS[scenario_id] for scenario_id in sorted(_SCENARIOS)]

@@ -1,0 +1,230 @@
+"""Built-in scenarios: the paper's figures and case study, registered.
+
+Every experiment the repository can reproduce is declared here as a
+scenario behind the common :class:`~repro.api.registry.ScenarioSpec`
+contract — the motivational examples (Fig. 3/4 + Appendix A.2), the four
+synthetic acceptance-rate figures (6a–6d) and the cruise-controller case
+study.  The CLI's legacy subcommands delegate to these runners, so the
+rendered tables here are the single source of the printed output.
+
+Payload conventions (shared with the golden fixtures under
+``tests/golden/``): sweep settings are keyed ``f"{value:g}"`` (``"5"``,
+``"1e-11"``), dataclasses are flattened with :func:`dataclasses.asdict`,
+and everything is JSON-native so :class:`~repro.api.report.RunReport`
+round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Dict, List, Mapping
+
+from repro.api.registry import ScenarioOutcome, register_scenario
+from repro.core.fault_model import SER_MEDIUM
+from repro.experiments.cruise_control import run_cruise_controller_study
+from repro.experiments.motivational import (
+    appendix_sfp_example,
+    evaluate_fig3_alternatives,
+    evaluate_fig4_alternatives,
+)
+from repro.experiments.results import format_table
+from repro.experiments.synthetic import (
+    figure_6a_hpd_sweep,
+    figure_6b_cost_table,
+    figure_6c_ser_sweep,
+    figure_6d_ser_sweep,
+    render_cost_table,
+    render_hpd_sweep,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+
+
+def _g_keyed(mapping: Mapping[float, object]) -> Dict[str, object]:
+    """Normalize numeric sweep keys to the golden fixtures' ``%g`` strings."""
+    return {f"{key:g}": value for key, value in mapping.items()}
+
+
+# ----------------------------------------------------------------------
+# Motivational examples (Fig. 3 / Fig. 4 / Appendix A.2)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "motivational",
+    title="Fig. 3/4 motivational examples + Appendix A.2 SFP computation",
+    description=(
+        "Hardware vs. software recovery for a single process, the five "
+        "architecture alternatives of Fig. 4, and the worked SFP example"
+    ),
+    figure="3/4/A.2",
+)
+def run_motivational(session: "Session") -> ScenarioOutcome:
+    fig3 = evaluate_fig3_alternatives()
+    fig3_rows = [
+        [
+            outcome.label,
+            outcome.reexecutions.get("N1", 0),
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for outcome in fig3
+    ]
+    fig4 = evaluate_fig4_alternatives()
+    fig4_rows = [
+        [
+            label,
+            ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
+            ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
+            outcome.schedule_length,
+            outcome.cost,
+            "yes" if outcome.schedulable else "no",
+        ]
+        for label, outcome in fig4.items()
+    ]
+    appendix = appendix_sfp_example()
+    lines: List[str] = [
+        format_table(
+            ["h-version", "k", "worst-case SL (ms)", "cost", "schedulable"],
+            fig3_rows,
+            title="Fig. 3 — hardware vs. software recovery (single process)",
+        ),
+        "",
+        format_table(
+            ["alt", "h-versions", "re-executions", "worst-case SL (ms)", "cost", "schedulable"],
+            fig4_rows,
+            title="Fig. 4 — architecture alternatives for the Fig. 1 application",
+        ),
+        "",
+        "Appendix A.2 — worked SFP example",
+    ]
+    lines.extend(f"  {key} = {value:.12g}" for key, value in appendix.items())
+    payload = {
+        "fig3": [asdict(outcome) for outcome in fig3],
+        "fig4": {label: asdict(outcome) for label, outcome in fig4.items()},
+        "appendix": appendix,
+    }
+    return ScenarioOutcome(payload=payload, text="\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Synthetic acceptance-rate experiments (Fig. 6a–6d)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "fig6a",
+    title="Fig. 6a — % accepted vs. HPD (SER=1e-11, ArC=20)",
+    description="MIN/MAX/OPT acceptance over the hardening performance degradation sweep",
+    figure="6a",
+)
+def run_fig6a(session: "Session") -> ScenarioOutcome:
+    sweep = figure_6a_hpd_sweep(session.experiment())
+    payload = {
+        "figure": "6a",
+        "preset": session.config.preset,
+        "ser": SER_MEDIUM,
+        "max_cost": 20.0,
+        "acceptance": _g_keyed(sweep),
+    }
+    text = render_hpd_sweep(sweep, "Fig. 6a — % accepted vs. HPD (SER=1e-11, ArC=20)")
+    return ScenarioOutcome(payload=payload, text=text)
+
+
+@register_scenario(
+    "fig6b",
+    title="Fig. 6b — % accepted vs. (HPD, ArC) at SER=1e-11",
+    description="MIN/MAX/OPT acceptance per (HPD, maximum architectural cost) pair",
+    figure="6b",
+)
+def run_fig6b(session: "Session") -> ScenarioOutcome:
+    table = figure_6b_cost_table(session.experiment())
+    payload = {
+        "figure": "6b",
+        "preset": session.config.preset,
+        "ser": SER_MEDIUM,
+        "acceptance": {
+            f"{hpd:g}": _g_keyed(per_arc) for hpd, per_arc in table.items()
+        },
+    }
+    text = render_cost_table(table, "Fig. 6b — % accepted vs. (HPD, ArC) at SER=1e-11")
+    return ScenarioOutcome(payload=payload, text=text)
+
+
+@register_scenario(
+    "fig6c",
+    title="Fig. 6c — % accepted vs. SER (HPD=5%, ArC=20)",
+    description="MIN/MAX/OPT acceptance over the soft-error-rate sweep at low HPD",
+    figure="6c",
+)
+def run_fig6c(session: "Session") -> ScenarioOutcome:
+    sweep = figure_6c_ser_sweep(session.experiment())
+    payload = {
+        "figure": "6c",
+        "preset": session.config.preset,
+        "hpd": 5.0,
+        "max_cost": 20.0,
+        "acceptance": _g_keyed(sweep),
+    }
+    text = render_hpd_sweep(sweep, "Fig. 6c — % accepted vs. SER (HPD=5%, ArC=20)")
+    return ScenarioOutcome(payload=payload, text=text)
+
+
+@register_scenario(
+    "fig6d",
+    title="Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20)",
+    description="MIN/MAX/OPT acceptance over the soft-error-rate sweep at high HPD",
+    figure="6d",
+)
+def run_fig6d(session: "Session") -> ScenarioOutcome:
+    sweep = figure_6d_ser_sweep(session.experiment())
+    payload = {
+        "figure": "6d",
+        "preset": session.config.preset,
+        "hpd": 100.0,
+        "max_cost": 20.0,
+        "acceptance": _g_keyed(sweep),
+    }
+    text = render_hpd_sweep(sweep, "Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20)")
+    return ScenarioOutcome(payload=payload, text=text)
+
+
+# ----------------------------------------------------------------------
+# Cruise-controller case study (Section 7)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "cruise-control",
+    title="Vehicle cruise controller case study (D=300 ms, rho=1-1.2e-5)",
+    description="MIN/MAX/OPT on the fixed three-ECU architecture; OPT ~66% cheaper than MAX",
+    figure="Section 7",
+)
+def run_cruise_control(session: "Session") -> ScenarioOutcome:
+    study = run_cruise_controller_study()
+    rows = []
+    for strategy, outcome in study.outcomes.items():
+        rows.append(
+            [
+                strategy,
+                "yes" if outcome.schedulable else "no",
+                outcome.cost if outcome.schedulable else float("inf"),
+                outcome.schedule_length,
+                ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
+                ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
+            ]
+        )
+    text = "\n".join(
+        [
+            format_table(
+                ["strategy", "schedulable", "cost", "worst-case SL (ms)", "h-versions", "re-executions"],
+                rows,
+                title="Cruise controller case study (D=300 ms, rho=1-1.2e-5)",
+            ),
+            "",
+            f"OPT cost saving over MAX: {study.opt_saving_vs_max * 100:.1f}%",
+        ]
+    )
+    payload = {
+        "outcomes": {
+            strategy: asdict(outcome) for strategy, outcome in study.outcomes.items()
+        },
+        "opt_saving_vs_max": study.opt_saving_vs_max,
+    }
+    return ScenarioOutcome(payload=payload, text=text)

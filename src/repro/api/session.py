@@ -1,0 +1,169 @@
+"""The Session: one configured front door to the evaluation machinery.
+
+A :class:`Session` binds a frozen :class:`~repro.api.config.RunConfig` to
+the performance machinery of PRs 2–4 and owns, for its lifetime:
+
+* **kernel selection** — scoped through
+  :func:`repro.kernels.registry.use_kernel` (snapshot/restore, exception
+  safe) instead of mutating the process-global defaults;
+* **the persistent design-point store** — one lazily-opened
+  :class:`~repro.engine.store.DesignPointStore` handle when
+  ``config.cache_dir`` is set;
+* **evaluation-engine construction** — :meth:`engine` builds an
+  :class:`~repro.engine.engine.EvaluationEngine` for an
+  ``(application, profile)`` context, warm-started from the store;
+* **the shared experiment** — :meth:`experiment` memoizes one
+  :class:`~repro.experiments.synthetic.AcceptanceExperiment` so scenarios
+  run back to back (e.g. Fig. 6a then 6b) reuse each other's settings.
+
+Scenarios execute through :meth:`run`, which wraps the runner in the kernel
+scope, times it, and assembles the structured
+:class:`~repro.api.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.api.config import RunConfig
+from repro.api.registry import get_scenario
+from repro.api.report import RunReport
+from repro.core.application import Application
+from repro.core.profile import ExecutionProfile
+from repro.engine.engine import EvaluationEngine
+from repro.engine.store import DesignPointStore
+from repro.experiments.synthetic import AcceptanceExperiment
+from repro.kernels.registry import SCHED_KERNELS, SFP_KERNELS, use_kernel
+
+#: Zeroed cache counters reported by scenarios that never touch the
+#: memoized experiment machinery (e.g. the motivational examples).
+_EMPTY_CACHE_REPORT: Dict[str, float] = {
+    "hits": 0,
+    "misses": 0,
+    "search_evaluations": 0,
+    "points_computed": 0,
+    "hit_rate": 0.0,
+    "disk_hits": 0,
+    "disk_entries_loaded": 0,
+}
+
+
+class Session:
+    """Configured execution context for scenarios and ad-hoc evaluation.
+
+    Usable as a context manager — ``with Session(config) as session:`` pins
+    the configured kernel backends for the block — or directly through
+    :meth:`run`, which enters the kernel scope around each scenario on its
+    own.  Either way the ambient process state is restored afterwards.
+    """
+
+    def __init__(self, config: Optional[RunConfig] = None) -> None:
+        self.config = config if config is not None else RunConfig()
+        self._experiment: Optional[AcceptanceExperiment] = None
+        self._store: Optional[DesignPointStore] = None
+        self._kernel_scope = None
+
+    # ------------------------------------------------------------------
+    # kernel scope
+    # ------------------------------------------------------------------
+    def _scope(self):
+        return use_kernel(sfp=self.config.sfp_kernel, sched=self.config.sched_kernel)
+
+    def __enter__(self) -> "Session":
+        if self._kernel_scope is not None:
+            raise RuntimeError("Session is not re-entrant")
+        self._kernel_scope = self._scope()
+        self._kernel_scope.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        scope, self._kernel_scope = self._kernel_scope, None
+        try:
+            if self._experiment is not None:
+                self._experiment.close()
+        finally:
+            scope.__exit__(exc_type, exc_value, traceback)
+
+    # ------------------------------------------------------------------
+    # owned resources
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[DesignPointStore]:
+        """The session's persistent store handle (``None`` without cache_dir)."""
+        if self.config.cache_dir is None:
+            return None
+        if self._store is None:
+            self._store = DesignPointStore(
+                self.config.cache_dir, max_bytes=self.config.cache_max_bytes
+            )
+        return self._store
+
+    def engine(
+        self, application: Application, profile: ExecutionProfile
+    ) -> EvaluationEngine:
+        """Build an evaluation engine for one context, warm-started from disk."""
+        engine = EvaluationEngine(application, profile)
+        store = self.store
+        if store is not None:
+            store.warm(engine)
+        return engine
+
+    def persist(self, engine: EvaluationEngine) -> None:
+        """Merge an engine's memo tables back into the persistent store."""
+        store = self.store
+        if store is not None:
+            store.persist(engine)
+
+    def experiment(self) -> AcceptanceExperiment:
+        """The session's shared synthetic experiment (memoized).
+
+        Sharing matters: the Fig. 6b cost table reuses the Fig. 6a settings,
+        so running both scenarios in one session computes each (SER, HPD)
+        setting exactly once.
+        """
+        if self._experiment is None:
+            jobs = self.config.jobs
+            self._experiment = AcceptanceExperiment(
+                preset=self.config.resolved_preset(),
+                n_jobs=jobs,
+                store_dir=self.config.cache_dir,
+                store_max_bytes=self.config.cache_max_bytes,
+            )
+        return self._experiment
+
+    def cache_report(self) -> Dict[str, float]:
+        """Aggregate engine counters (zeros when no experiment ran)."""
+        if self._experiment is None:
+            return dict(_EMPTY_CACHE_REPORT)
+        return self._experiment.cache_report()
+
+    # ------------------------------------------------------------------
+    # scenario execution
+    # ------------------------------------------------------------------
+    def run(self, scenario_id: str) -> RunReport:
+        """Run one registered scenario and return its structured report.
+
+        ``config.output`` is deliberately *not* written here: a session can
+        run many scenarios, and each run silently overwriting the previous
+        report would lose data.  The one-shot :func:`repro.api.run` (and the
+        CLI driver on top of it) persists the single report it produces.
+        """
+        spec = get_scenario(scenario_id)
+        with self._scope():
+            kernels = {
+                "sfp": SFP_KERNELS.active().name,
+                "sched": SCHED_KERNELS.active().name,
+            }
+            start = time.perf_counter()
+            outcome = spec.runner(self)
+            wall_clock = time.perf_counter() - start
+        return RunReport(
+            scenario=scenario_id,
+            config=self.config,
+            results=outcome.payload,
+            kernels=kernels,
+            cache=self.cache_report(),
+            timings={"wall_clock_seconds": wall_clock},
+            text=outcome.text,
+        )

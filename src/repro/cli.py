@@ -1,12 +1,21 @@
-"""Command-line interface of the library.
+"""Command-line interface of the library — a thin driver over ``repro.api``.
 
-``repro-ftes`` exposes the paper's experiments from the shell:
+The generic entry point runs any registered scenario:
 
-* ``repro-ftes motivational`` — reproduce the Fig. 3 / Fig. 4 motivational
-  examples and the Appendix A.2 worked SFP computation.
-* ``repro-ftes synthetic`` — run the Fig. 6 acceptance-rate experiments
-  (choose the figure with ``--figure`` and the effort with ``--preset``).
-* ``repro-ftes cruise-control`` — run the cruise-controller case study.
+* ``repro-ftes run <scenario>`` — execute one scenario (``fig6a`` … ``fig6d``,
+  ``motivational``, ``cruise-control``) under a declarative
+  :class:`~repro.api.config.RunConfig` built from the flags.
+* ``repro-ftes run --list`` — list the registered scenarios.
+
+The pre-registry subcommands (``motivational``, ``synthetic``,
+``cruise-control``) are kept as deprecated shims: they emit a single
+deprecation notice (a :class:`DeprecationWarning` plus a stderr line, since
+default warning filters hide non-``__main__`` DeprecationWarnings) and
+delegate to the same scenario runners, so their printed tables and result
+*values* stay identical.  One deliberate exception: ``synthetic --output``
+now writes the registry's normalized payload (``"5"``-style ``%g`` setting
+keys instead of the old ``"5.0"`` float reprs), so the legacy JSON is
+key-for-key identical to ``api.run(...)`` payloads and the golden fixtures.
 
 All output is plain text (tables / ASCII bars); nothing is written to disk
 unless ``--output`` is given.
@@ -17,36 +26,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.engine.store import DEFAULT_MAX_BYTES
-from repro.experiments.motivational import (
-    appendix_sfp_example,
-    evaluate_fig3_alternatives,
-    evaluate_fig4_alternatives,
-)
-from repro.kernels import (
-    AUTO,
-    active_kernel,
-    active_sched_kernel,
-    kernel_names,
-    sched_kernel_names,
-    set_default_kernel,
-    set_default_sched_kernel,
-)
-from repro.experiments.results import format_table
-from repro.experiments.synthetic import (
-    AcceptanceExperiment,
-    ExperimentPreset,
-    figure_6a_hpd_sweep,
-    figure_6b_cost_table,
-    figure_6c_ser_sweep,
-    figure_6d_ser_sweep,
-    render_cost_table,
-    render_hpd_sweep,
-)
-from repro.experiments.cruise_control import run_cruise_controller_study
+from repro.api import RunConfig, RunReport, Session, list_scenarios
+from repro.api import run as api_run
+from repro.api.config import DEFAULT_CACHE_SIZE_MB, PRESETS
+from repro.core.exceptions import ModelError
+from repro.kernels import AUTO, kernel_names, sched_kernel_names
+
+#: Figure flag values of the legacy ``synthetic`` subcommand → scenario ids.
+_FIGURE_SCENARIOS = {"6a": "fig6a", "6b": "fig6b", "6c": "fig6c", "6d": "fig6d"}
 
 
 def _job_count(value: str) -> int:
@@ -65,20 +56,81 @@ def _cache_size(value: str) -> int:
     return size
 
 
-def _apply_kernel_choice(arguments: argparse.Namespace) -> str:
-    """Apply ``--sfp-kernel`` (if given) and return the active backend name."""
-    choice = getattr(arguments, "sfp_kernel", None)
-    if choice is not None:
-        return set_default_kernel(choice).name
-    return active_kernel().name
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the generic driver and the legacy subcommands.
+
+    Each flag maps 1:1 onto a :class:`RunConfig` field; ``None`` defaults
+    defer to the documented resolution order (explicit > env var > auto).
+    """
+    parser.add_argument(
+        "--sfp-kernel",
+        choices=[AUTO] + kernel_names(),
+        default=None,
+        help=(
+            "SFP kernel backend (default: REPRO_SFP_KERNEL env var or "
+            "the fastest available); all backends are bit-identical, "
+            "this is a speed knob only"
+        ),
+    )
+    parser.add_argument(
+        "--sched-kernel",
+        choices=[AUTO] + sched_kernel_names(),
+        default=None,
+        help=(
+            "scheduler kernel backend (default: REPRO_SCHED_KERNEL env "
+            "var or the fastest available); all backends are "
+            "bit-identical, this is a speed knob only"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help=(
+            "worker processes for the per-application loop "
+            "(1 = serial, 0 = one per CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory of the persistent design-point cache; warm-starts "
+            "repeated runs of the same sweep (results are bit-identical "
+            "with or without it)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-size-mb",
+        type=_cache_size,
+        default=DEFAULT_CACHE_SIZE_MB,
+        help=(
+            "size cap of the persistent cache directory in MiB; "
+            "least-recently-used entries are evicted beyond it"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the preset's base seed for synthetic benchmark generation",
+    )
 
 
-def _apply_sched_kernel_choice(arguments: argparse.Namespace) -> str:
-    """Apply ``--sched-kernel`` (if given) and return the active backend name."""
-    choice = getattr(arguments, "sched_kernel", None)
-    if choice is not None:
-        return set_default_sched_kernel(choice).name
-    return active_sched_kernel().name
+def _config_from_arguments(
+    arguments: argparse.Namespace, output: Optional[Path] = None
+) -> RunConfig:
+    return RunConfig(
+        sfp_kernel=getattr(arguments, "sfp_kernel", None),
+        sched_kernel=getattr(arguments, "sched_kernel", None),
+        cache_dir=getattr(arguments, "cache_dir", None),
+        cache_size_mb=getattr(arguments, "cache_size_mb", DEFAULT_CACHE_SIZE_MB),
+        jobs=getattr(arguments, "jobs", 1),
+        seed=getattr(arguments, "seed", None),
+        preset=getattr(arguments, "preset", "fast"),
+        output=output,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,13 +144,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run_parser = subparsers.add_parser(
+        "run", help="run a registered scenario (generic driver over repro.api)"
+    )
+    run_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario id (see --list)",
+    )
+    run_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the registered scenarios and exit",
+    )
+    run_parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="fast",
+        help="experiment size/effort preset (synthetic scenarios)",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="optional path to write the structured RunReport as JSON",
+    )
+    _add_config_arguments(run_parser)
+    run_parser.set_defaults(handler=_run_scenario)
+
     motivational = subparsers.add_parser(
-        "motivational", help="Fig. 3 / Fig. 4 examples and the Appendix A.2 SFP example"
+        "motivational",
+        help="[deprecated: use `run motivational`] Fig. 3 / Fig. 4 examples "
+        "and the Appendix A.2 SFP example",
     )
     motivational.set_defaults(handler=_run_motivational)
 
     synthetic = subparsers.add_parser(
-        "synthetic", help="Fig. 6 synthetic acceptance-rate experiments"
+        "synthetic",
+        help="[deprecated: use `run fig6a` … `run fig6d`] Fig. 6 synthetic "
+        "acceptance-rate experiments",
     )
     synthetic.add_argument(
         "--figure",
@@ -108,42 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synthetic.add_argument(
         "--preset",
-        choices=["smoke", "fast", "paper"],
+        choices=sorted(PRESETS),
         default="fast",
         help="experiment size/effort preset",
-    )
-    synthetic.add_argument(
-        "--jobs",
-        type=_job_count,
-        default=1,
-        help=(
-            "worker processes for the per-application loop "
-            "(1 = serial, 0 = one per CPU)"
-        ),
-    )
-    synthetic.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help=(
-            "directory of the persistent design-point cache; warm-starts "
-            "repeated runs of the same sweep (results are bit-identical "
-            "with or without it)"
-        ),
-    )
-    synthetic.add_argument(
-        "--cache-size-mb",
-        type=_cache_size,
-        default=DEFAULT_MAX_BYTES // (1024 * 1024),
-        help=(
-            "size cap of the persistent cache directory in MiB; "
-            "least-recently-used entries are evicted beyond it"
-        ),
     )
     synthetic.set_defaults(handler=_run_synthetic)
 
     cruise = subparsers.add_parser(
-        "cruise-control", help="vehicle cruise controller case study"
+        "cruise-control",
+        help="[deprecated: use `run cruise-control`] vehicle cruise "
+        "controller case study",
     )
     cruise.set_defaults(handler=_run_cruise_control)
 
@@ -154,26 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="optional path to also write the results as JSON",
         )
-        sub.add_argument(
-            "--sfp-kernel",
-            choices=[AUTO] + kernel_names(),
-            default=None,
-            help=(
-                "SFP kernel backend (default: REPRO_SFP_KERNEL env var or "
-                "the fastest available); all backends are bit-identical, "
-                "this is a speed knob only"
-            ),
-        )
-        sub.add_argument(
-            "--sched-kernel",
-            choices=[AUTO] + sched_kernel_names(),
-            default=None,
-            help=(
-                "scheduler kernel backend (default: REPRO_SCHED_KERNEL env "
-                "var or the fastest available); all backends are "
-                "bit-identical, this is a speed knob only"
-            ),
-        )
+        _add_config_arguments(sub)
     return parser
 
 
@@ -185,157 +226,109 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # ----------------------------------------------------------------------
-# Sub-command handlers
+# Generic scenario driver
 # ----------------------------------------------------------------------
-def _run_motivational(arguments: argparse.Namespace) -> int:
-    _apply_kernel_choice(arguments)
-    _apply_sched_kernel_choice(arguments)
-    fig3 = evaluate_fig3_alternatives()
-    fig3_rows = [
-        [
-            outcome.label,
-            outcome.reexecutions.get("N1", 0),
-            outcome.schedule_length,
-            outcome.cost,
-            "yes" if outcome.schedulable else "no",
-        ]
-        for outcome in fig3
-    ]
+def _print_cache_summary(report: RunReport) -> None:
+    cache = report.cache
     print(
-        format_table(
-            ["h-version", "k", "worst-case SL (ms)", "cost", "schedulable"],
-            fig3_rows,
-            title="Fig. 3 — hardware vs. software recovery (single process)",
-        )
-    )
-    print()
-    fig4 = evaluate_fig4_alternatives()
-    fig4_rows = [
-        [
-            label,
-            ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
-            ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
-            outcome.schedule_length,
-            outcome.cost,
-            "yes" if outcome.schedulable else "no",
-        ]
-        for label, outcome in fig4.items()
-    ]
-    print(
-        format_table(
-            ["alt", "h-versions", "re-executions", "worst-case SL (ms)", "cost", "schedulable"],
-            fig4_rows,
-            title="Fig. 4 — architecture alternatives for the Fig. 1 application",
-        )
-    )
-    print()
-    appendix = appendix_sfp_example()
-    print("Appendix A.2 — worked SFP example")
-    for key, value in appendix.items():
-        print(f"  {key} = {value:.12g}")
-    _maybe_write_json(
-        arguments,
-        {
-            "fig3": [outcome.__dict__ for outcome in fig3],
-            "fig4": {label: outcome.__dict__ for label, outcome in fig4.items()},
-            "appendix": appendix,
-        },
-    )
-    return 0
-
-
-def _run_synthetic(arguments: argparse.Namespace) -> int:
-    kernel_name = _apply_kernel_choice(arguments)
-    sched_kernel_name = _apply_sched_kernel_choice(arguments)
-    preset = {
-        "smoke": ExperimentPreset.smoke,
-        "fast": ExperimentPreset.fast,
-        "paper": ExperimentPreset.paper,
-    }[arguments.preset]()
-    experiment = AcceptanceExperiment(
-        preset=preset,
-        n_jobs=arguments.jobs,
-        store_dir=arguments.cache_dir,
-        store_max_bytes=arguments.cache_size_mb * 1024 * 1024,
-    )
-    payload = {}
-    figures = (
-        ["6a", "6b", "6c", "6d"] if arguments.figure == "all" else [arguments.figure]
-    )
-    for figure in figures:
-        if figure == "6a":
-            sweep = figure_6a_hpd_sweep(experiment)
-            print(render_hpd_sweep(sweep, "Fig. 6a — % accepted vs. HPD (SER=1e-11, ArC=20)"))
-            payload["6a"] = sweep
-        elif figure == "6b":
-            table = figure_6b_cost_table(experiment)
-            print(render_cost_table(table, "Fig. 6b — % accepted vs. (HPD, ArC) at SER=1e-11"))
-            payload["6b"] = {str(k): v for k, v in table.items()}
-        elif figure == "6c":
-            sweep = figure_6c_ser_sweep(experiment)
-            print(render_hpd_sweep(sweep, "Fig. 6c — % accepted vs. SER (HPD=5%, ArC=20)"))
-            payload["6c"] = sweep
-        elif figure == "6d":
-            sweep = figure_6d_ser_sweep(experiment)
-            print(render_hpd_sweep(sweep, "Fig. 6d — % accepted vs. SER (HPD=100%, ArC=20)"))
-            payload["6d"] = sweep
-        print()
-    cache = experiment.cache_report()
-    print(
-        f"evaluation engine ({kernel_name} SFP kernel, "
-        f"{sched_kernel_name} scheduler kernel): "
+        f"evaluation engine ({report.kernels['sfp']} SFP kernel, "
+        f"{report.kernels['sched']} scheduler kernel): "
         f"{cache['points_computed']} design points computed "
         f"({cache['search_evaluations']} mapping evaluations), "
         f"{cache['hits']} cache hits / {cache['misses']} misses "
         f"(hit rate {cache['hit_rate'] * 100.0:.1f}%)"
     )
-    if arguments.cache_dir is not None:
+    cache_dir = report.config.cache_dir
+    if cache_dir is not None:
         print(
-            f"persistent store ({arguments.cache_dir}): "
+            f"persistent store ({cache_dir}): "
             f"{cache['disk_entries_loaded']} entries warm-loaded, "
             f"{cache['disk_hits']} disk-cache hits"
         )
-    cache["kernel"] = kernel_name
-    cache["sched_kernel"] = sched_kernel_name
+
+
+def _run_scenario(arguments: argparse.Namespace) -> int:
+    if arguments.list_scenarios:
+        print("registered scenarios:")
+        for spec in list_scenarios():
+            figure = f" [{spec.figure}]" if spec.figure else ""
+            print(f"  {spec.scenario_id:<16} {spec.title}{figure}")
+        return 0
+    if arguments.scenario is None:
+        print("error: a scenario id is required (or --list)", file=sys.stderr)
+        return 2
+    config = _config_from_arguments(arguments, output=arguments.output)
+    try:
+        report = api_run(arguments.scenario, config)
+    except ModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.text)
+    print()
+    _print_cache_summary(report)
+    print(
+        f"scenario {report.scenario}: "
+        f"{report.timings['wall_clock_seconds']:.2f} s wall clock"
+    )
+    if arguments.output is not None:
+        print(f"report written to {arguments.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Deprecated sub-command shims (behavior-preserving, registry-backed)
+# ----------------------------------------------------------------------
+def _warn_deprecated_command(old: str, new: str) -> None:
+    message = f"`repro-ftes {old}` is deprecated; use `repro-ftes {new}`"
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    # Default warning filters only display DeprecationWarnings raised in
+    # __main__; the console entry point lands here via an import, so the
+    # migration notice must also go to stderr to ever be seen.
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _run_motivational(arguments: argparse.Namespace) -> int:
+    _warn_deprecated_command("motivational", "run motivational")
+    with Session(_config_from_arguments(arguments)) as session:
+        report = session.run("motivational")
+    print(report.text)
+    _maybe_write_json(arguments, report.results)
+    return 0
+
+
+def _run_synthetic(arguments: argparse.Namespace) -> int:
+    figures: List[str] = (
+        ["6a", "6b", "6c", "6d"] if arguments.figure == "all" else [arguments.figure]
+    )
+    _warn_deprecated_command(
+        "synthetic", " / ".join(f"run {_FIGURE_SCENARIOS[f]}" for f in figures)
+    )
+    payload = {}
+    # One session for all figures: they share the memoized experiment, so
+    # e.g. the Fig. 6b table reuses the settings computed for Fig. 6a.
+    with Session(_config_from_arguments(arguments)) as session:
+        report: Optional[RunReport] = None
+        for figure in figures:
+            report = session.run(_FIGURE_SCENARIOS[figure])
+            print(report.text)
+            print()
+            payload[figure] = report.results["acceptance"]
+    assert report is not None
+    _print_cache_summary(report)
+    cache = dict(report.cache)
+    cache["kernel"] = report.kernels["sfp"]
+    cache["sched_kernel"] = report.kernels["sched"]
     payload["cache"] = cache
     _maybe_write_json(arguments, payload)
     return 0
 
 
 def _run_cruise_control(arguments: argparse.Namespace) -> int:
-    _apply_kernel_choice(arguments)
-    _apply_sched_kernel_choice(arguments)
-    study = run_cruise_controller_study()
-    rows = []
-    for strategy, outcome in study.outcomes.items():
-        rows.append(
-            [
-                strategy,
-                "yes" if outcome.schedulable else "no",
-                outcome.cost if outcome.schedulable else float("inf"),
-                outcome.schedule_length,
-                ", ".join(f"{node}^{level}" for node, level in outcome.hardening.items()),
-                ", ".join(f"{node}:{k}" for node, k in outcome.reexecutions.items()),
-            ]
-        )
-    print(
-        format_table(
-            ["strategy", "schedulable", "cost", "worst-case SL (ms)", "h-versions", "re-executions"],
-            rows,
-            title="Cruise controller case study (D=300 ms, rho=1-1.2e-5)",
-        )
-    )
-    print()
-    print(f"OPT cost saving over MAX: {study.opt_saving_vs_max * 100:.1f}%")
-    _maybe_write_json(
-        arguments,
-        {
-            "outcomes": {
-                strategy: outcome.__dict__ for strategy, outcome in study.outcomes.items()
-            },
-            "opt_saving_vs_max": study.opt_saving_vs_max,
-        },
-    )
+    _warn_deprecated_command("cruise-control", "run cruise-control")
+    with Session(_config_from_arguments(arguments)) as session:
+        report = session.run("cruise-control")
+    print(report.text)
+    _maybe_write_json(arguments, report.results)
     return 0
 
 

@@ -20,6 +20,7 @@ preserved by the scaled-down preset and asserted in the integration tests.
 
 from __future__ import annotations
 
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -235,6 +236,54 @@ def _evaluate_benchmark_setting(
     return results, disk
 
 
+#: Per-worker-process state installed by :func:`_init_worker`.  Worker
+#: processes are single-threaded executor children, so a plain module dict
+#: needs no locking.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    benchmarks: Sequence[SyntheticBenchmark],
+    preset: ExperimentPreset,
+    strategies: Tuple[str, ...],
+    store_dir: Optional[Path],
+    store_max_bytes: int,
+) -> None:
+    """Executor initializer: ship the benchmark suite once per worker.
+
+    Submitting ``(benchmark, ser, hpd, preset, …)`` per task re-pickles each
+    benchmark (and the shared arguments) for every task; installing the
+    whole suite once per worker makes each task a ``(index, ser, hpd)``
+    triple of scalars.
+    """
+    _WORKER_STATE["benchmarks"] = list(benchmarks)
+    _WORKER_STATE["preset"] = preset
+    _WORKER_STATE["strategies"] = strategies
+    _WORKER_STATE["store_dir"] = store_dir
+    _WORKER_STATE["store_max_bytes"] = store_max_bytes
+
+
+def _evaluate_indexed_setting(
+    task: Tuple[int, float, float],
+) -> Tuple[Dict[str, DesignResult], Dict[str, int]]:
+    """Worker-side task: evaluate benchmark ``index`` at one (SER, HPD)."""
+    index, ser, hpd = task
+    return _evaluate_benchmark_setting(
+        _WORKER_STATE["benchmarks"][index],
+        ser,
+        hpd,
+        _WORKER_STATE["preset"],
+        _WORKER_STATE["strategies"],
+        _WORKER_STATE["store_dir"],
+        _WORKER_STATE["store_max_bytes"],
+    )
+
+
+def _shutdown_pool(executor: ProcessPoolExecutor) -> None:
+    """GC-finalizer fallback: release workers without blocking collection."""
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
 class AcceptanceExperiment:
     """Run MIN / MAX / OPT over a suite of synthetic benchmarks.
 
@@ -291,6 +340,53 @@ class AcceptanceExperiment:
                 process_counts=self.preset.process_counts,
             )
         self._cache: Dict[Tuple[float, float], SettingResult] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    # worker-pool lifecycle (parallel sweeps only)
+    # ------------------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        """Lazily created worker pool shared by every setting of the sweep.
+
+        One executor per *experiment* (not per setting) means the
+        initializer ships the benchmark suite exactly once per worker for
+        the whole sweep.  The pool is released by :meth:`close` (the
+        experiment doubles as a context manager) or, failing that, by a GC
+        finalizer.
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_jobs if self.n_jobs else None,
+                initializer=_init_worker,
+                initargs=(
+                    self.benchmarks,
+                    self.preset,
+                    self.strategies,
+                    self.store_dir,
+                    self.store_max_bytes,
+                ),
+            )
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._executor
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when serial or already closed)."""
+        if self._executor is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        executor, self._executor = self._executor, None
+        executor.shutdown()
+
+    def __enter__(self) -> "AcceptanceExperiment":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run_setting(self, ser: float, hpd: float) -> SettingResult:
@@ -309,20 +405,17 @@ class AcceptanceExperiment:
                 for benchmark in self.benchmarks
             ]
         else:
-            max_workers = self.n_jobs if self.n_jobs else None
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                per_benchmark = list(
-                    pool.map(
-                        _evaluate_benchmark_setting,
-                        self.benchmarks,
-                        [ser] * count,
-                        [hpd] * count,
-                        [self.preset] * count,
-                        [self.strategies] * count,
-                        [self.store_dir] * count,
-                        [self.store_max_bytes] * count,
-                    )
+            # The pool initializer ships the benchmark suite (and the shared
+            # configuration) once per worker process for the whole sweep; the
+            # tasks themselves are (index, ser, hpd) scalar triples.
+            # ``pool.map`` preserves submission order, so results stay
+            # bit-identical to serial.
+            per_benchmark = list(
+                self._pool().map(
+                    _evaluate_indexed_setting,
+                    [(index, ser, hpd) for index in range(count)],
                 )
+            )
         for results, disk in per_benchmark:
             for name in self.strategies:
                 setting.results[name].append(results[name])

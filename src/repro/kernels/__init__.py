@@ -33,6 +33,7 @@ from repro.kernels.registry import (
     sched_kernel_names,
     set_default_kernel,
     set_default_sched_kernel,
+    use_kernel,
 )
 from repro.kernels.sched_base import (
     SchedulerKernel,
@@ -66,4 +67,5 @@ __all__ = [
     "sched_kernel_names",
     "set_default_kernel",
     "set_default_sched_kernel",
+    "use_kernel",
 ]

@@ -13,8 +13,12 @@ Selection precedence within a family, highest first:
 1. an explicit ``kernel=`` argument on the entry points (``SFPAnalysis``,
    ``EvaluationEngine``, ``ReExecutionOpt`` for SFP; ``ListScheduler`` for
    scheduling) — accepts a kernel instance or a registered name;
-2. a process-wide default set by ``set_default[_sched]_kernel`` (the CLI's
-   ``--sfp-kernel`` / ``--sched-kernel`` flags land here);
+2. a *scoped* selection entered with :func:`use_kernel` (what the
+   ``repro.api`` session layer and the CLI's ``--sfp-kernel`` /
+   ``--sched-kernel`` flags use), or the process-wide default set by the
+   deprecated ``set_default[_sched]_kernel`` shims — both land in the same
+   slot, but ``use_kernel`` restores the previous selection on exit, also
+   when the body raises;
 3. the family's environment variable;
 4. ``auto``: the highest-priority backend whose ``is_available()`` is true.
 
@@ -28,7 +32,9 @@ store) remain valid across kernel switches and the selection deliberately is
 from __future__ import annotations
 
 import os
-from typing import Dict, Generic, List, Optional, Type, TypeVar, Union
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, Type, TypeVar, Union
 
 from repro.core.exceptions import ModelError
 from repro.kernels.base import SFPKernel
@@ -138,6 +144,66 @@ SCHED_KERNELS: KernelRegistry[SchedulerKernel] = KernelRegistry(
 
 
 # ----------------------------------------------------------------------
+# Scoped selection — the non-deprecated way to change the active backends.
+# ----------------------------------------------------------------------
+@contextmanager
+def use_kernel(
+    sfp: Union[SFPKernel, str, None] = None,
+    sched: Union[SchedulerKernel, str, None] = None,
+) -> Iterator[Tuple[SFPKernel, SchedulerKernel]]:
+    """Scoped kernel selection over both families.
+
+    Snapshots both families' selection state, applies the requested
+    backends (``None`` leaves that family's ambient selection — environment
+    variable or ``auto`` — untouched) and restores the snapshot on exit,
+    *including* when the body raises.  Yields the pair of active instances
+    ``(sfp_kernel, scheduler_kernel)`` inside the scope.
+
+    With no arguments this is a pure snapshot/restore guard, which is what
+    the test-suite's autouse fixture uses to eliminate cross-test leakage.
+
+    Selections are names under the hood; a kernel *instance* is accepted
+    only when it is the registry singleton of its name (e.g. the result of
+    ``get_kernel(...)``) — activating a foreign instance by name would
+    silently hand out a different object, so that is an error instead.
+    """
+    snapshot = (SFP_KERNELS._default_name, SCHED_KERNELS._default_name)
+    try:
+        if sfp is not None:
+            SFP_KERNELS.set_default(_selection_name(SFP_KERNELS, sfp))
+        if sched is not None:
+            SCHED_KERNELS.set_default(_selection_name(SCHED_KERNELS, sched))
+        yield SFP_KERNELS.active(), SCHED_KERNELS.active()
+    finally:
+        SFP_KERNELS._default_name, SCHED_KERNELS._default_name = snapshot
+
+
+def _selection_name(registry: KernelRegistry, kernel) -> str:
+    """Normalize a ``use_kernel`` selection to a registered backend name."""
+    if isinstance(kernel, str):
+        return kernel
+    name = kernel.name
+    if registry.get(name) is not kernel:
+        raise ModelError(
+            f"use_kernel only accepts registry-singleton {registry.family} "
+            f"kernel instances (got a foreign {type(kernel).__name__!r} "
+            f"object); pass the registered name {name!r} or use "
+            f"get_kernel()/resolve on the explicit kernel= entry points"
+        )
+    return name
+
+
+def _warn_deprecated_setter(old: str, family_kw: str) -> None:
+    warnings.warn(
+        f"{old}() mutates a process-global default and is deprecated; "
+        f"use repro.kernels.use_kernel({family_kw}=...) for a scoped "
+        f"selection, or the repro.api session layer",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
 # SFP family — module-level API kept stable since PR 3.
 # ----------------------------------------------------------------------
 def register_kernel(kernel_class: Type[SFPKernel]) -> Type[SFPKernel]:
@@ -153,6 +219,13 @@ def get_kernel(name: str) -> SFPKernel:
 
 
 def set_default_kernel(name: Optional[str]) -> Optional[SFPKernel]:
+    """Deprecated shim: set the process-wide SFP backend (behavior unchanged).
+
+    Prefer :func:`use_kernel` (scoped, exception-safe) or the ``repro.api``
+    session layer; this function stays bit-identical in effect but emits a
+    :class:`DeprecationWarning`.
+    """
+    _warn_deprecated_setter("set_default_kernel", "sfp")
     return SFP_KERNELS.set_default(name)
 
 
@@ -182,6 +255,13 @@ def get_sched_kernel(name: str) -> SchedulerKernel:
 
 
 def set_default_sched_kernel(name: Optional[str]) -> Optional[SchedulerKernel]:
+    """Deprecated shim: set the process-wide scheduler backend.
+
+    Prefer :func:`use_kernel` (scoped, exception-safe) or the ``repro.api``
+    session layer; this function stays bit-identical in effect but emits a
+    :class:`DeprecationWarning`.
+    """
+    _warn_deprecated_setter("set_default_sched_kernel", "sched")
     return SCHED_KERNELS.set_default(name)
 
 

@@ -16,6 +16,20 @@ from repro.experiments.motivational import (
     fig3_node_type,
     fig3_profile,
 )
+from repro.kernels import use_kernel
+
+
+@pytest.fixture(autouse=True)
+def _kernel_selection_guard():
+    """Snapshot/restore both kernel families' process selection per test.
+
+    A test that pins a kernel (through the deprecated global setters, a
+    Session, or ``use_kernel``) and then fails must not leak its selection
+    into later tests; ``use_kernel()`` with no arguments is exactly that
+    exception-safe snapshot/restore guard.
+    """
+    with use_kernel():
+        yield
 
 
 @pytest.fixture

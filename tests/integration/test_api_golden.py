@@ -1,0 +1,64 @@
+"""API ↔ legacy CLI ↔ golden-fixture equivalence (the PR acceptance gate).
+
+``api.run("fig6a", RunConfig(preset="fast"))`` and the legacy
+``repro-ftes synthetic --figure 6a --preset fast`` must produce identical
+results payloads, both matching the checked-in golden fixture exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def _load(name: str) -> dict:
+    with (GOLDEN_DIR / name).open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def fig6a_report() -> api.RunReport:
+    return api.run("fig6a", api.RunConfig(preset="fast"))
+
+
+def test_api_fig6a_payload_equals_the_golden_fixture(fig6a_report):
+    # The scenario payload *is* the golden fixture's structure — key for key.
+    assert fig6a_report.results == _load("fig6a_fast.json")
+
+
+def test_api_fig6b_payload_equals_the_golden_fixture():
+    report = api.run("fig6b", api.RunConfig(preset="fast"))
+    assert report.results == _load("fig6b_fast.json")
+
+
+def test_legacy_cli_and_api_produce_identical_payloads(fig6a_report, tmp_path, capsys):
+    output = tmp_path / "legacy_fig6a.json"
+    with pytest.warns(DeprecationWarning):
+        exit_code = main(
+            ["synthetic", "--figure", "6a", "--preset", "fast",
+             "--output", str(output)]
+        )
+    capsys.readouterr()  # swallow the rendered tables
+    assert exit_code == 0
+    legacy = json.loads(output.read_text(encoding="utf-8"))
+    golden = _load("fig6a_fast.json")
+    assert legacy["6a"] == golden["acceptance"]
+    assert legacy["6a"] == fig6a_report.results["acceptance"]
+
+
+def test_generic_run_driver_writes_a_golden_matching_report(tmp_path, capsys):
+    output = tmp_path / "report.json"
+    exit_code = main(
+        ["run", "fig6a", "--preset", "fast", "--output", str(output)]
+    )
+    capsys.readouterr()
+    assert exit_code == 0
+    report = api.RunReport.from_json(output.read_text(encoding="utf-8"))
+    assert report.results == _load("fig6a_fast.json")

@@ -1,4 +1,4 @@
-"""Unit tests for the command-line interface."""
+"""Unit tests for the command-line interface (generic driver + legacy shims)."""
 
 from __future__ import annotations
 
@@ -7,6 +7,10 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+
+# The legacy subcommands under test are deprecated on purpose; emission of
+# the warning itself is asserted in tests/unit/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestParser:
@@ -17,6 +21,8 @@ class TestParser:
 
     def test_known_commands_parse(self):
         parser = build_parser()
+        assert parser.parse_args(["run", "fig6a"]).scenario == "fig6a"
+        assert parser.parse_args(["run", "--list"]).list_scenarios
         assert parser.parse_args(["motivational"]).command == "motivational"
         assert parser.parse_args(["synthetic", "--figure", "6c"]).figure == "6c"
         assert parser.parse_args(["cruise-control"]).command == "cruise-control"
@@ -25,6 +31,59 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["synthetic", "--figure", "7"])
+
+    def test_run_accepts_config_flags(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig6a", "--preset", "smoke", "--jobs", "2",
+             "--sfp-kernel", "reference", "--sched-kernel", "flat",
+             "--seed", "9"]
+        )
+        assert arguments.preset == "smoke"
+        assert arguments.jobs == 2
+        assert arguments.sfp_kernel == "reference"
+        assert arguments.sched_kernel == "flat"
+        assert arguments.seed == 9
+
+
+class TestRunCommand:
+    def test_list_prints_all_scenarios(self, capsys):
+        exit_code = main(["run", "--list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for scenario_id in ("fig6a", "fig6b", "fig6c", "fig6d",
+                            "motivational", "cruise-control"):
+            assert scenario_id in captured
+
+    def test_missing_scenario_is_an_error(self, capsys):
+        exit_code = main(["run"])
+        assert exit_code == 2
+        assert "scenario id is required" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        exit_code = main(["run", "fig6x"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "Unknown scenario" in captured.err
+        assert "fig6a" in captured.err  # the known list helps recovery
+
+    def test_runs_a_scenario_and_prints_summary(self, capsys):
+        exit_code = main(["run", "fig6a", "--preset", "smoke"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 6a" in captured
+        assert "evaluation engine" in captured
+        assert "scenario fig6a" in captured
+
+    def test_writes_a_structured_report(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        exit_code = main(
+            ["run", "fig6a", "--preset", "smoke", "--output", str(output)]
+        )
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["scenario"] == "fig6a"
+        assert report["config"]["preset"] == "smoke"
+        assert "acceptance" in report["results"]
 
 
 class TestMotivationalCommand:

@@ -1,0 +1,75 @@
+"""Deprecation shims: old entry points warn once but behave identically.
+
+Covers the satellite contract: ``set_default_*_kernel`` and the legacy CLI
+subcommands emit a single :class:`DeprecationWarning` per invocation while
+remaining bit-identical in behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.kernels import (
+    KERNEL_ENV_VAR,
+    SCHED_KERNEL_ENV_VAR,
+    active_kernel,
+    active_sched_kernel,
+    set_default_kernel,
+    set_default_sched_kernel,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_env(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    monkeypatch.delenv(SCHED_KERNEL_ENV_VAR, raising=False)
+
+
+class TestGlobalSetterShims:
+    def test_set_default_kernel_warns_once_and_still_works(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            picked = set_default_kernel("reference")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "use_kernel" in str(deprecations[0].message)
+        assert picked.name == "reference"
+        assert active_kernel().name == "reference"
+
+    def test_set_default_sched_kernel_warns_once_and_still_works(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            picked = set_default_sched_kernel("reference")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert picked.name == "reference"
+        assert active_sched_kernel().name == "reference"
+
+
+class TestLegacyCliShims:
+    def test_motivational_warns_and_output_matches_scenario_text(self, capsys):
+        with pytest.warns(DeprecationWarning, match="run motivational"):
+            exit_code = main(["motivational"])
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        report = api.run("motivational")
+        assert printed == report.text + "\n"
+
+    def test_synthetic_warns_and_payload_matches_api(self, tmp_path, capsys):
+        output = tmp_path / "legacy.json"
+        with pytest.warns(DeprecationWarning, match="run fig6a"):
+            exit_code = main(
+                ["synthetic", "--figure", "6a", "--preset", "smoke",
+                 "--output", str(output)]
+            )
+        assert exit_code == 0
+        legacy = json.loads(output.read_text(encoding="utf-8"))
+        report = api.run("fig6a", api.RunConfig(preset="smoke"))
+        assert legacy["6a"] == report.results["acceptance"]
+        assert legacy["cache"]["kernel"] == report.kernels["sfp"]
+        assert legacy["cache"]["sched_kernel"] == report.kernels["sched"]

@@ -19,14 +19,22 @@ from repro.kernels import (
 )
 from repro.kernels import registry as registry_module
 
+# Several tests exercise the deprecated ``set_default_*`` shims on purpose;
+# their DeprecationWarnings are expected (emission itself is covered by
+# tests/unit/test_deprecation_shims.py).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(autouse=True)
 def _clean_selection(monkeypatch):
-    """Each test starts with no process default and no env override."""
+    """Each test starts with no process default and no env override.
+
+    Restoration of the pre-test selection is handled by the suite-wide
+    ``_kernel_selection_guard`` autouse fixture in ``tests/conftest.py``.
+    """
     monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
-    set_default_kernel(None)
+    registry_module.SFP_KERNELS.set_default(None)
     yield
-    set_default_kernel(None)
 
 
 def test_both_builtin_backends_registered():
@@ -161,9 +169,8 @@ from repro.kernels import (  # noqa: E402
 def _clean_sched_selection(monkeypatch):
     """Each test starts with no scheduler default and no env override."""
     monkeypatch.delenv(SCHED_KERNEL_ENV_VAR, raising=False)
-    set_default_sched_kernel(None)
+    registry_module.SCHED_KERNELS.set_default(None)
     yield
-    set_default_sched_kernel(None)
 
 
 def test_scheduler_backends_registered():
@@ -306,3 +313,59 @@ def test_flat_kernel_recompiles_after_in_place_profile_and_overhead_edits():
         application, architecture, mapping, profile, budgets
     )
     assert after_mu.node_recovery_slack["NA"] == 30.0 + 50.0  # budget 1 × (t + mu)
+
+
+# ----------------------------------------------------------------------
+# Scoped selection: use_kernel
+# ----------------------------------------------------------------------
+from repro.kernels import use_kernel  # noqa: E402
+
+
+class TestUseKernel:
+    def test_scopes_both_families_and_restores(self):
+        with use_kernel(sfp="reference", sched="reference") as (sfp, sched):
+            assert isinstance(sfp, ReferenceKernel)
+            assert isinstance(sched, ReferenceSchedulerKernel)
+            assert isinstance(active_kernel(), ReferenceKernel)
+            assert isinstance(active_sched_kernel(), ReferenceSchedulerKernel)
+        assert isinstance(active_kernel(), ArrayKernel)
+        assert isinstance(active_sched_kernel(), FlatSchedulerKernel)
+
+    def test_none_leaves_ambient_selection_untouched(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        with use_kernel(sched="flat") as (sfp, sched):
+            assert isinstance(sfp, ReferenceKernel)  # env still decides SFP
+            assert isinstance(sched, FlatSchedulerKernel)
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_kernel(sfp="reference", sched="reference"):
+                assert isinstance(active_kernel(), ReferenceKernel)
+                raise RuntimeError("boom")
+        assert isinstance(active_kernel(), ArrayKernel)
+        assert isinstance(active_sched_kernel(), FlatSchedulerKernel)
+
+    def test_invalid_name_leaves_state_untouched(self):
+        with pytest.raises(ModelError):
+            with use_kernel(sfp="no-such-backend"):
+                pytest.fail("the scope body must not run")  # pragma: no cover
+        assert isinstance(active_kernel(), ArrayKernel)
+
+    def test_accepts_registry_singleton_instances(self):
+        with use_kernel(sfp=get_kernel("reference")) as (sfp, _):
+            assert isinstance(sfp, ReferenceKernel)
+
+    def test_rejects_foreign_instances(self):
+        # A separately constructed object would be silently swapped for the
+        # registry singleton of the same name; that must fail instead.
+        with pytest.raises(ModelError, match="registry-singleton"):
+            with use_kernel(sfp=ReferenceKernel()):
+                pytest.fail("the scope body must not run")  # pragma: no cover
+        assert isinstance(active_kernel(), ArrayKernel)
+
+    def test_nested_scopes_unwind_in_order(self):
+        with use_kernel(sfp="reference"):
+            with use_kernel(sfp="array"):
+                assert isinstance(active_kernel(), ArrayKernel)
+            assert isinstance(active_kernel(), ReferenceKernel)
+        assert isinstance(active_kernel(), ArrayKernel)
