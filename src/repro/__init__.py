@@ -11,6 +11,8 @@ documentation (README.md and DESIGN.md) for an architecture overview and
 ``examples/`` for runnable entry points.
 """
 
+from __future__ import annotations
+
 from repro.core import (
     Application,
     Architecture,

@@ -1,5 +1,7 @@
 """Derived reliability and cost analyses built on top of the SFP machinery."""
 
+from __future__ import annotations
+
 from repro.analysis.cost import (
     CostBreakdown,
     architecture_cost_breakdown,

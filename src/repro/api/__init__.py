@@ -16,6 +16,8 @@ kernel selection (:func:`repro.kernels.registry.use_kernel`).  The CLI's
 ``repro-ftes run`` is a thin driver over exactly this API.
 """
 
+from __future__ import annotations
+
 from typing import Optional
 
 from repro.api.config import DEFAULT_CACHE_SIZE_MB, PRESETS, RunConfig

@@ -42,7 +42,9 @@ class ScenarioSpec:
     description: str = ""
     #: Paper figure/section the scenario reproduces, when applicable.
     figure: Optional[str] = None
-    runner: Callable[["Session"], ScenarioOutcome] = field(repr=False, default=None)  # type: ignore[assignment]
+    runner: Callable[["Session"], ScenarioOutcome] = field(
+        repr=False, default=None  # type: ignore[assignment]
+    )
 
 
 _SCENARIOS: Dict[str, ScenarioSpec] = {}

@@ -213,7 +213,14 @@ def run_cruise_control(session: "Session") -> ScenarioOutcome:
     text = "\n".join(
         [
             format_table(
-                ["strategy", "schedulable", "cost", "worst-case SL (ms)", "h-versions", "re-executions"],
+                [
+                    "strategy",
+                    "schedulable",
+                    "cost",
+                    "worst-case SL (ms)",
+                    "h-versions",
+                    "re-executions",
+                ],
                 rows,
                 title="Cruise controller case study (D=300 ms, rho=1-1.2e-5)",
             ),

@@ -24,7 +24,8 @@ scope, times it, and assembles the structured
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from types import TracebackType
+from typing import ContextManager, Dict, Optional, Tuple
 
 from repro.api.config import RunConfig
 from repro.api.registry import get_scenario
@@ -34,7 +35,11 @@ from repro.core.profile import ExecutionProfile
 from repro.engine.engine import EvaluationEngine
 from repro.engine.store import DesignPointStore
 from repro.experiments.synthetic import AcceptanceExperiment
+from repro.kernels.base import SFPKernel
 from repro.kernels.registry import SCHED_KERNELS, SFP_KERNELS, use_kernel
+from repro.kernels.sched_base import SchedulerKernel
+
+_KernelScope = ContextManager[Tuple[SFPKernel, SchedulerKernel]]
 
 #: Zeroed cache counters reported by scenarios that never touch the
 #: memoized experiment machinery (e.g. the motivational examples).
@@ -62,12 +67,12 @@ class Session:
         self.config = config if config is not None else RunConfig()
         self._experiment: Optional[AcceptanceExperiment] = None
         self._store: Optional[DesignPointStore] = None
-        self._kernel_scope = None
+        self._kernel_scope: Optional[_KernelScope] = None
 
     # ------------------------------------------------------------------
     # kernel scope
     # ------------------------------------------------------------------
-    def _scope(self):
+    def _scope(self) -> _KernelScope:
         return use_kernel(sfp=self.config.sfp_kernel, sched=self.config.sched_kernel)
 
     def __enter__(self) -> "Session":
@@ -77,13 +82,19 @@ class Session:
         self._kernel_scope.__enter__()
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         scope, self._kernel_scope = self._kernel_scope, None
         try:
             if self._experiment is not None:
                 self._experiment.close()
         finally:
-            scope.__exit__(exc_type, exc_value, traceback)
+            if scope is not None:
+                scope.__exit__(exc_type, exc_value, traceback)
 
     # ------------------------------------------------------------------
     # owned resources

@@ -133,6 +133,17 @@ def _config_from_arguments(
     )
 
 
+def _run_lint_args(lint_args: Sequence[str]) -> int:
+    """Delegate ``repro-ftes lint ...`` to the :mod:`repro.lint` CLI."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(lint_args)
+
+
+def _run_lint(arguments: argparse.Namespace) -> int:
+    return _run_lint_args(arguments.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -207,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cruise.set_defaults(handler=_run_cruise_control)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST invariant checker: fingerprint purity, kernel contracts, "
+        "structure tokens, seeded RNGs (see `repro-ftes lint --help`)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(handler=_run_lint)
+
     for sub in (motivational, synthetic, cruise):
         sub.add_argument(
             "--output",
@@ -220,8 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arg_list = list(argv) if argv is not None else sys.argv[1:]
+    if arg_list and arg_list[0] == "lint":
+        # Dispatched before argparse: the lint CLI owns its flags, and
+        # ``nargs=REMAINDER`` does not forward leading optionals.
+        return _run_lint_args(arg_list[1:])
     parser = build_parser()
-    arguments = parser.parse_args(argv)
+    arguments = parser.parse_args(arg_list)
     return arguments.handler(arguments)
 
 

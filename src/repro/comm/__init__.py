@@ -1,5 +1,7 @@
 """Communication substrate: time-triggered shared bus models."""
 
+from __future__ import annotations
+
 from repro.comm.bus import Bus, SimpleBus, TDMABus
 
 __all__ = ["Bus", "SimpleBus", "TDMABus"]

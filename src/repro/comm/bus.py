@@ -29,7 +29,7 @@ from abc import ABC, abstractmethod
 from bisect import insort
 from dataclasses import dataclass
 from operator import attrgetter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ModelError, SchedulingError
 from repro.utils.validation import require_non_negative, require_positive

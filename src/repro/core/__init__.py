@@ -1,5 +1,7 @@
 """Core models and design-optimization heuristics of the paper."""
 
+from __future__ import annotations
+
 from repro.core.application import Application, Message, Process, TaskGraph
 from repro.core.architecture import (
     Architecture,

@@ -21,7 +21,7 @@ All times are expressed in milliseconds, matching the paper's examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import networkx as nx

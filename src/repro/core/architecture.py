@@ -20,7 +20,7 @@ Three classes model this:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.exceptions import ModelError
 from repro.utils.validation import require_non_negative, require_positive

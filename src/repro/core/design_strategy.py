@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import replace
 from itertools import combinations
 from math import inf
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.application import Application
 from repro.core.architecture import Architecture, Node, NodeType

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from itertools import combinations, product
 from math import inf
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.application import Application
 from repro.core.architecture import Architecture, Node, NodeType

@@ -23,8 +23,8 @@ empirical counterpart and is cross-validated against this model in the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.architecture import NodeType

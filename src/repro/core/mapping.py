@@ -181,7 +181,9 @@ class MappingAlgorithm:
             moves = self._candidate_moves(candidates, architecture, current_mapping, profile)
             if not moves:
                 break
-            evaluated: List[Tuple[float, str, str, Optional[RedundancyDecision], ProcessMapping]] = []
+            evaluated: List[
+                Tuple[float, str, str, Optional[RedundancyDecision], ProcessMapping]
+            ] = []
             for process, node_name in moves:
                 candidate_mapping = current_mapping.moved(process, node_name)
                 value, decision = evaluate(candidate_mapping)

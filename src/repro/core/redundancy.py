@@ -244,7 +244,9 @@ class RedundancyOpt(_RedundancyEvaluator):
             for node in architecture
         )
         while not decision.is_feasible and visited <= max_steps:
-            best_candidate: Optional[Tuple[Tuple[int, float], Dict[str, int], RedundancyDecision]] = None
+            best_candidate: Optional[
+                Tuple[Tuple[int, float], Dict[str, int], RedundancyDecision]
+            ] = None
             for node in architecture:
                 level = hardening[node.name]
                 if level >= node.node_type.max_hardening:

@@ -51,7 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
 from math import prod
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports sfp)
     from repro.engine.engine import EvaluationEngine

@@ -4,6 +4,8 @@ See :mod:`repro.engine.engine` for the architecture overview and
 ``PERFORMANCE.md`` at the repository root for the caching/invalidation model.
 """
 
+from __future__ import annotations
+
 from repro.engine.cache import CacheStats, MemoCache, MISS
 from repro.engine.engine import EvaluationEngine
 from repro.engine.fingerprint import (

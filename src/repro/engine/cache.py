@@ -10,7 +10,7 @@ of ``None`` to signal a miss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` result.
 MISS = object()
@@ -61,7 +61,7 @@ class MemoCache:
         self._store: Dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
-        self._preloaded: set = set()
+        self._preloaded: set[Hashable] = set()
         self.disk_hits = 0
 
     # ------------------------------------------------------------------

@@ -35,6 +35,49 @@ HardeningFingerprint = Tuple[Tuple[str, int], ...]
 ArchitectureFingerprint = Tuple[Tuple[str, str], ...]
 
 
+def _canonical_encode(value: object) -> bytes:
+    """Type-tagged canonical byte encoding of fingerprint key material.
+
+    The encoding is injective over the supported types (``None``, ``bool``,
+    ``int``, ``float``, ``str``, ``bytes`` and nested tuples/lists thereof):
+    every value gets a one-byte type tag and a self-delimiting payload, so no
+    two distinct values share an encoding and no ``repr()`` formatting ever
+    enters a cache key.  Floats encode via ``float.hex()``, which is exact
+    and locale/platform independent.
+    """
+    if value is None:
+        return b"N;"
+    if isinstance(value, bool):  # before int: bool is an int subtype
+        return b"B1;" if value else b"B0;"
+    if isinstance(value, int):
+        payload = str(value).encode("ascii")
+        return b"I" + payload + b";"
+    if isinstance(value, float):
+        return b"F" + value.hex().encode("ascii") + b";"
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return b"S" + str(len(payload)).encode("ascii") + b":" + payload
+    if isinstance(value, bytes):
+        return b"Y" + str(len(value)).encode("ascii") + b":" + value
+    if isinstance(value, (tuple, list)):
+        items = b"".join(_canonical_encode(item) for item in value)
+        return b"T" + str(len(value)).encode("ascii") + b":" + items + b")"
+    raise TypeError(
+        f"unsupported fingerprint key material of type {type(value).__name__}"
+    )
+
+
+def _stable_digest(value: object) -> int:
+    """128-bit content digest of ``value`` under the canonical encoding.
+
+    Unlike builtin ``hash()`` this is independent of ``PYTHONHASHSEED``, the
+    interpreter build and the process — the same content always digests to
+    the same integer, on any machine.
+    """
+    digest = hashlib.sha256(_canonical_encode(value)).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
 def mapping_fingerprint(mapping: ProcessMapping) -> MappingFingerprint:
     """Canonical fingerprint of a process-to-node mapping."""
     return tuple(sorted(mapping.items()))
@@ -53,27 +96,23 @@ def architecture_fingerprint(architecture: Architecture) -> ArchitectureFingerpr
 
 
 def application_fingerprint(application: Application) -> int:
-    """Content hash of the application's graphs and global parameters."""
-    return hash(_canonical_application(application))
+    """Content digest of the application's graphs and global parameters."""
+    return _stable_digest(_canonical_application(application))
 
 
 def profile_fingerprint(profile: ExecutionProfile) -> int:
-    """Content hash of the execution profile tables."""
-    entries = tuple(
-        sorted(
-            (key, entry.wcet, entry.failure_probability)
-            for key, entry in profile.entries().items()
-        )
-    )
-    return hash(entries)
+    """Content digest of the execution profile tables."""
+    return _stable_digest(_canonical_profile(profile))
 
 
 def context_fingerprint(application: Application, profile: ExecutionProfile) -> int:
-    """Combined content hash identifying one (application, profile) context."""
-    return hash((application_fingerprint(application), profile_fingerprint(profile)))
+    """Combined content digest identifying one (application, profile) context."""
+    return _stable_digest(
+        (application_fingerprint(application), profile_fingerprint(profile))
+    )
 
 
-def _canonical_application(application: Application) -> Tuple:
+def _canonical_application(application: Application) -> Tuple[object, ...]:
     """Canonical content tuple of an application (same data as the hash)."""
     graphs = []
     for graph in application.graphs:
@@ -102,23 +141,26 @@ def _canonical_application(application: Application) -> Tuple:
     )
 
 
-def stable_context_fingerprint(
-    application: Application, profile: ExecutionProfile
-) -> str:
-    """Cross-process content hash of one (application, profile) context.
-
-    :func:`context_fingerprint` goes through Python's builtin ``hash``, which
-    is salted per interpreter run (``PYTHONHASHSEED``) — fine for in-memory
-    memo keys, useless for anything persisted.  This variant hashes the same
-    canonical content tuples through SHA-256 of their ``repr`` (floats repr
-    round-trip exactly, so the digest is stable across runs and platforms)
-    and is the key the persistent design-point store files are named by.
-    """
-    entries = tuple(
+def _canonical_profile(profile: ExecutionProfile) -> Tuple[object, ...]:
+    """Canonical content tuple of an execution profile's tables."""
+    return tuple(
         sorted(
             (key, entry.wcet, entry.failure_probability)
             for key, entry in profile.entries().items()
         )
     )
-    canonical = repr((_canonical_application(application), entries))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def stable_context_fingerprint(
+    application: Application, profile: ExecutionProfile
+) -> str:
+    """Cross-process content hash of one (application, profile) context.
+
+    The hex-string form of the same canonical content the in-memory
+    fingerprints digest: SHA-256 of the type-tagged canonical encoding, with
+    no ``hash()``/``repr()`` anywhere on the path, so the value is stable
+    across interpreter runs (``PYTHONHASHSEED``), platforms and processes.
+    It is the key the persistent design-point store files are named by.
+    """
+    canonical = (_canonical_application(application), _canonical_profile(profile))
+    return hashlib.sha256(_canonical_encode(canonical)).hexdigest()

@@ -48,7 +48,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump on any change to the persisted layout *or* to the numeric kernels'
 #: result contract; old store files become unreachable (never migrated).
-STORE_SCHEMA_VERSION = 1
+#: 2: fingerprints moved from repr()-based hashing to the type-tagged
+#: canonical byte encoding (R001), renaming every context key.
+STORE_SCHEMA_VERSION = 2
 
 #: Default size cap of a store directory (bytes).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -152,10 +154,10 @@ class DesignPointStore:
         """
         path = self.path_for(engine)
         existing = self._read(path)
-        caches: Dict[str, Dict] = {}
+        caches: Dict[str, Dict[object, object]] = {}
         total = 0
         for attribute in PERSISTED_CACHES:
-            merged: Dict = {}
+            merged: Dict[object, object] = {}
             if existing is not None:
                 merged.update(existing["caches"].get(attribute, {}))
             merged.update(getattr(engine, attribute).snapshot())
@@ -175,7 +177,7 @@ class DesignPointStore:
         return total
 
     # ------------------------------------------------------------------
-    def _read(self, path: Path) -> Optional[Dict]:
+    def _read(self, path: Path) -> Optional[Dict[str, object]]:
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
@@ -197,7 +199,7 @@ class DesignPointStore:
             return None
         return payload
 
-    def _write_atomic(self, path: Path, payload: Dict) -> None:
+    def _write_atomic(self, path: Path, payload: Dict[str, object]) -> None:
         handle, temp_name = tempfile.mkstemp(
             dir=self.directory, prefix=path.stem, suffix=".tmp"
         )

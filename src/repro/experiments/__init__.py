@@ -1,5 +1,7 @@
 """Experiment harnesses reproducing the paper's figures and case study."""
 
+from __future__ import annotations
+
 from repro.experiments.motivational import (
     appendix_sfp_example,
     evaluate_fig3_alternatives,

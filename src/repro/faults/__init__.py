@@ -10,6 +10,8 @@ fails.  The analytic fault model (:mod:`repro.core.fault_model`) and the
 campaign agree within statistical error, which the test-suite checks.
 """
 
+from __future__ import annotations
+
 from repro.faults.hardening import SelectiveHardeningPlan, apply_selective_hardening
 from repro.faults.injection import FaultInjectionCampaign, InjectionResult
 from repro.faults.processor import ProcessorModel

@@ -21,8 +21,8 @@ for cross-validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.exceptions import ModelError
 from repro.utils.validation import require_in_unit_interval, require_positive

@@ -1,5 +1,7 @@
 """Synthetic benchmark generation (Section 7 experimental setup)."""
 
+from __future__ import annotations
+
 from repro.generator.benchmark import (
     BenchmarkConfig,
     SyntheticBenchmark,

@@ -27,12 +27,12 @@ sweeps those parameters over a fixed set of 150 applications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.application import Application, Process, TaskGraph
+from repro.core.application import Application, TaskGraph
 from repro.core.architecture import NodeType
 from repro.core.exceptions import ModelError
 from repro.core.fault_model import FaultModel, HardeningModel, TechnologyModel

@@ -10,7 +10,7 @@ choose between; the relative speed is drawn from a configurable range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -14,7 +14,7 @@ configurable probability to control the communication density.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,5 +1,7 @@
 """Serialization (JSON) and export (Graphviz DOT) helpers."""
 
+from __future__ import annotations
+
 from repro.io.dot import schedule_to_dot, task_graph_to_dot
 from repro.io.serialization import (
     application_from_dict,

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
-from repro.core.application import Application, Message, Process, TaskGraph
+from repro.core.application import Application, Message, Process
 from repro.core.architecture import HVersion, NodeType
 from repro.core.evaluation import DesignResult
 from repro.core.exceptions import ModelError

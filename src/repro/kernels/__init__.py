@@ -14,6 +14,8 @@ Selection goes through :mod:`repro.kernels.registry` (``--sfp-kernel`` /
 defaulting to ``auto``); see ``PERFORMANCE.md`` for measurements.
 """
 
+from __future__ import annotations
+
 from repro.kernels.array_backend import ArrayKernel
 from repro.kernels.base import SFPKernel
 from repro.kernels.reference import ReferenceKernel

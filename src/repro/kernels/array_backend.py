@@ -51,7 +51,7 @@ from __future__ import annotations
 from array import array
 from decimal import Decimal
 from math import prod
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.exceptions import ModelError
 from repro.kernels.reference import ReferenceKernel
@@ -216,7 +216,7 @@ class ArrayKernel(ReferenceKernel):
     # ------------------------------------------------------------------
     def _homogeneous_sums(
         self, probabilities: Sequence[float], reexecutions: int
-    ):
+    ) -> List[float]:
         """Yield ``h_1 .. h_k`` over the full variable set, bit-identically.
 
         Narrow inputs run the scalar single-pass DP in the reused
@@ -242,7 +242,7 @@ class ArrayKernel(ReferenceKernel):
 
     def _homogeneous_sums_numpy(
         self, probabilities: Sequence[float], reexecutions: int
-    ):
+    ) -> List[float]:
         """Row-major DP: one multiply + one sequential accumulate per ``h_f``."""
         width = len(probabilities)
         if self._np_row is None or len(self._np_row) < width:

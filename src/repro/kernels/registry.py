@@ -178,7 +178,9 @@ def use_kernel(
         SFP_KERNELS._default_name, SCHED_KERNELS._default_name = snapshot
 
 
-def _selection_name(registry: KernelRegistry, kernel) -> str:
+def _selection_name(
+    registry: KernelRegistry, kernel: Union[SFPKernel, SchedulerKernel, str]
+) -> str:
     """Normalize a ``use_kernel`` selection to a registered backend name."""
     if isinstance(kernel, str):
         return kernel

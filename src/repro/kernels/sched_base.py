@@ -51,7 +51,7 @@ class ScheduleStructure:
     compilation caches key their identity checks on.
     """
 
-    token: Tuple
+    token: Tuple[object, ...]
     layers: List[List[str]]
     incoming: Dict[str, List["Message"]]
 

@@ -32,7 +32,7 @@ application actually changes.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.comm.bus import SimpleBus, TDMABus
 from repro.core.exceptions import SchedulingError
@@ -42,6 +42,10 @@ from repro.kernels.sched_base import (
     SchedulingProblem,
 )
 from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
+
+if TYPE_CHECKING:
+    from repro.core.application import Application
+    from repro.core.profile import ExecutionProfile
 
 #: Name of the fallback backend for bus models the flat tables cannot honour.
 _REFERENCE_NAME = "reference"
@@ -70,7 +74,12 @@ class _CompiledApplication:
         "_versions",
     )
 
-    def __init__(self, structure: ScheduleStructure, application, profile) -> None:
+    def __init__(
+        self,
+        structure: ScheduleStructure,
+        application: Application,
+        profile: ExecutionProfile,
+    ) -> None:
         self.structure = structure
         self.profile = profile
         self.profile_version = profile.version

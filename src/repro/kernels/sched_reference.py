@@ -12,12 +12,17 @@ of the scheduler bit-identity contract.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.kernels.sched_base import SchedulerKernel, SchedulingProblem
 from repro.scheduling.priorities import critical_path_priorities
 from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
 from repro.scheduling.slack import naive_recovery_slack, shared_recovery_slack
+
+if TYPE_CHECKING:
+    from repro.comm.bus import Bus
+    from repro.core.application import Message
+    from repro.core.profile import ExecutionProfile
 
 
 class ReferenceSchedulerKernel(SchedulerKernel):
@@ -80,12 +85,12 @@ class ReferenceSchedulerKernel(SchedulerKernel):
     def _place_process(
         self,
         process: str,
-        incoming_messages: List,
+        incoming_messages: List[Message],
         node_info: Tuple[str, str, int],
-        profile,
+        profile: ExecutionProfile,
         scheduled: Dict[str, ScheduledProcess],
         node_free: Dict[str, float],
-        bus,
+        bus: Bus,
     ) -> Tuple[ScheduledProcess, List[ScheduledMessage]]:
         """Compute the execution window of ``process`` and its input messages."""
         node_name, type_name, hardening = node_info

@@ -1,0 +1,131 @@
+"""AST-based invariant checker for the reproduction's domain contracts.
+
+Generic linters cannot know that a builtin ``hash()`` inside
+``engine/fingerprint.py`` breaks the federated warm store, or that mutating
+``TaskGraph._messages`` without bumping ``structure_token`` silently serves
+stale schedules.  ``repro.lint`` machine-checks exactly those contracts:
+
+========  ==============================================================
+R001      fingerprint purity — cache-key paths are content-pure
+          (no ``hash()``/``id()``/``repr()``/unordered set-dict iteration)
+R002      kernel-contract conformance — backends implement the full
+          abstract contract with matching signatures, no mutable class
+          state; cache-key modules never import ``repro.kernels``
+R003      structure-token safety — guarded containers mutate only inside
+          the token-bumping construction API
+R004      seeded-RNG-only — no interpreter-global random state
+R005      no ``Decimal``/``float`` mixing in the SFP rounding chains
+========  ==============================================================
+
+Run it with ``repro-ftes lint`` or ``python -m repro.lint``; see
+:mod:`repro.lint.cli` for options (JSON output, per-rule selection, the
+committed baseline, ``# repro-lint: disable=R00x`` suppressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import repro.lint.rules  # noqa: F401  (registers the rule set on import)
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+)
+from repro.lint.model import (
+    Violation,
+    is_suppressed,
+    sort_violations,
+    suppressed_rules_by_line,
+)
+from repro.lint.project import Project
+from repro.lint.registry import RULES, LintRule, RuleRegistry, register_rule
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, pre-split against a baseline."""
+
+    violations: List[Violation] = field(default_factory=list)
+    new: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+    suppressed_count: int = 0
+    checked_modules: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+
+    def exit_code(self, strict_baseline: bool = False) -> int:
+        if self.new:
+            return 1
+        if strict_baseline and self.stale:
+            return 1
+        return 0
+
+    def as_dict(self) -> Dict[str, object]:
+        baselined_fingerprints = {id(v) for v in self.baselined}
+        return {
+            "checked_modules": self.checked_modules,
+            "rules": self.rule_ids,
+            "violations": [
+                {**v.as_dict(), "baselined": id(v) in baselined_fingerprints}
+                for v in self.violations
+            ],
+            "new_count": len(self.new),
+            "baselined_count": len(self.baselined),
+            "stale_entries": [entry.as_dict() for entry in self.stale],
+            "suppressed_count": self.suppressed_count,
+        }
+
+
+def run_lint(
+    project: Project,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Sequence[BaselineEntry] = (),
+) -> LintReport:
+    """Run the (selected) rule set over ``project`` and split vs ``baseline``."""
+    selected = RULES.rules(list(rule_ids) if rule_ids is not None else None)
+    raw: List[Violation] = []
+    suppressed_count = 0
+    suppression_maps = {
+        name: suppressed_rules_by_line(module.lines)
+        for name, module in project.modules.items()
+    }
+    for rule in selected:
+        for violation in rule.check(project):
+            suppressions = suppression_maps.get(violation.module, {})
+            if is_suppressed(violation, suppressions):
+                suppressed_count += 1
+                continue
+            raw.append(violation)
+    violations = sort_violations(raw)
+    new, baselined, stale = match_baseline(violations, baseline)
+    return LintReport(
+        violations=violations,
+        new=new,
+        baselined=baselined,
+        stale=stale,
+        suppressed_count=suppressed_count,
+        checked_modules=len(project.modules),
+        rule_ids=[rule.rule_id for rule in selected],
+    )
+
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "LintReport",
+    "LintRule",
+    "Project",
+    "RULES",
+    "RuleRegistry",
+    "Violation",
+    "load_baseline",
+    "match_baseline",
+    "register_rule",
+    "run_lint",
+    "save_baseline",
+    "sort_violations",
+]

@@ -1,0 +1,132 @@
+"""Baseline file support: track legacy violations, fail only on new ones.
+
+The baseline is a committed JSON file mapping known violations (by their
+line-insensitive :meth:`~repro.lint.model.Violation.fingerprint`) so that a
+freshly introduced invariant can land with the existing debt tracked rather
+than fixed in the same change.  Matching is multiset-based: two identical
+findings in the code need two baseline entries.
+
+Stale entries — baseline lines no longer matched by any current violation —
+are reported separately.  They mean debt was paid down without regenerating
+the file; ``--strict-baseline`` (what CI uses) turns them into a failure so
+the committed file never overstates the remaining debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.model import Violation
+
+#: Format version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tracked legacy violation."""
+
+    rule: str
+    module: str
+    symbol: str
+    message: str
+    fingerprint: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be interpreted."""
+
+
+def entry_for(violation: Violation) -> BaselineEntry:
+    return BaselineEntry(
+        rule=violation.rule,
+        module=violation.module,
+        symbol=violation.symbol,
+        message=violation.message,
+        fingerprint=violation.fingerprint(),
+    )
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Entries of the baseline file; a missing file is an empty baseline."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline file {path} has an unsupported layout "
+            f"(expected version {BASELINE_VERSION}); regenerate it with "
+            f"--write-baseline"
+        )
+    entries = []
+    for record in payload.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                rule=str(record["rule"]),
+                module=str(record["module"]),
+                symbol=str(record.get("symbol", "")),
+                message=str(record["message"]),
+                fingerprint=str(record["fingerprint"]),
+            )
+        )
+    return entries
+
+
+def save_baseline(path: Path, violations: Sequence[Violation]) -> int:
+    """Write a fresh baseline tracking exactly ``violations``; returns count."""
+    entries = sorted(
+        (entry_for(violation) for violation in violations),
+        key=lambda entry: (entry.rule, entry.module, entry.symbol, entry.message),
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def match_baseline(
+    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Violation], List[Violation], List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, baselined, stale)``: violations not covered by the
+    baseline, violations the baseline absorbs, and baseline entries no
+    current violation matches.  Multiset semantics per fingerprint.
+    """
+    budget = Counter(entry.fingerprint for entry in entries)
+    new: List[Violation] = []
+    baselined: List[Violation] = []
+    for violation in violations:
+        fingerprint = violation.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            baselined.append(violation)
+        else:
+            new.append(violation)
+    stale: List[BaselineEntry] = []
+    remaining = dict(budget)
+    for entry in entries:
+        if remaining.get(entry.fingerprint, 0) > 0:
+            remaining[entry.fingerprint] -= 1
+            stale.append(entry)
+    return new, baselined, stale

@@ -1,0 +1,186 @@
+"""Command-line driver of ``repro.lint`` (``repro-ftes lint``).
+
+Exit codes: ``0`` — no non-baselined violations (and, under
+``--strict-baseline``, no stale baseline entries); ``1`` — new violations
+(or stale entries under ``--strict-baseline``); ``2`` — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint import (
+    RULES,
+    BaselineError,
+    LintReport,
+    Project,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+
+#: Name of the committed baseline file at the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def default_package_dir() -> Path:
+    """The installed ``repro`` package directory (the default lint root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(package_dir: Path) -> Path:
+    """``lint-baseline.json`` at the repository root of a src layout.
+
+    For ``<repo>/src/repro`` this is ``<repo>/lint-baseline.json``; when the
+    package is installed elsewhere the file simply does not exist, which is
+    an empty baseline.
+    """
+    return package_dir.parent.parent / DEFAULT_BASELINE_NAME
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ftes lint",
+        description=(
+            "AST-based invariant checker: fingerprint purity, kernel "
+            "contracts, structure-token safety, seeded RNGs, Decimal/float "
+            "hygiene"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file tracking legacy violations "
+            f"(default: {DEFAULT_BASELINE_NAME} at the repository root)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every violation is reported as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help=(
+            "fail when the baseline has stale entries (violations fixed "
+            "without regenerating the file); what CI runs"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for rule in RULES.rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"      {rule.rationale}")
+        return 0
+
+    rule_ids: Optional[List[str]] = None
+    if arguments.rules:
+        rule_ids = [part.strip() for part in arguments.rules.split(",") if part.strip()]
+        unknown = sorted(set(rule_ids) - set(RULES.ids()))
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(RULES.ids())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    package_dir = (
+        Path(arguments.root).resolve() if arguments.root else default_package_dir()
+    )
+    if not package_dir.is_dir():
+        print(f"error: lint root {package_dir} is not a directory", file=sys.stderr)
+        return 2
+    project = Project.from_directory(package_dir)
+
+    baseline_path = (
+        Path(arguments.baseline)
+        if arguments.baseline
+        else default_baseline_path(package_dir)
+    )
+    if arguments.write_baseline:
+        report = run_lint(project, rule_ids=rule_ids)
+        count = save_baseline(baseline_path, report.violations)
+        print(f"wrote {count} baseline entries to {baseline_path}")
+        return 0
+
+    baseline = []
+    if not arguments.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_lint(project, rule_ids=rule_ids, baseline=baseline)
+    if arguments.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        _print_text(report, strict_baseline=arguments.strict_baseline)
+    return report.exit_code(strict_baseline=arguments.strict_baseline)
+
+
+def _print_text(report: LintReport, strict_baseline: bool) -> None:
+    for violation in report.new:
+        print(violation.format_text())
+    if report.stale:
+        level = "error" if strict_baseline else "warning"
+        for entry in report.stale:
+            print(
+                f"{level}: stale baseline entry {entry.fingerprint} "
+                f"({entry.rule} in {entry.module}): the violation is gone — "
+                f"regenerate with --write-baseline"
+            )
+    summary = (
+        f"{report.checked_modules} modules checked "
+        f"({', '.join(report.rule_ids)}): "
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.stale)} stale, {report.suppressed_count} suppressed"
+    )
+    print(summary)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

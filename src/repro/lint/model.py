@@ -1,0 +1,106 @@
+"""Violation model and suppression-comment handling for ``repro.lint``.
+
+A :class:`Violation` is one rule finding, anchored to a module/line/column and
+to the enclosing *symbol* (function or class qualname) when one exists.  The
+:meth:`Violation.fingerprint` is deliberately line-number-insensitive — it
+hashes the rule id, module, symbol and message — so the committed baseline
+file survives unrelated edits that merely shift code up or down.
+
+Suppressions are trailing (or immediately preceding, standalone) comments of
+the form::
+
+    risky_expression()  # repro-lint: disable=R001 -- short justification
+    # repro-lint: disable=R003,R004 -- covers the next line
+    another_expression()
+
+``disable=all`` silences every rule for that line.  A justification after
+``--`` is optional but encouraged; the linter only parses the rule list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Pseudo-rule name suppressing every rule on a line.
+SUPPRESS_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one lint rule."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    column: int
+    symbol: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity of the finding, independent of line numbers."""
+        payload = "\x1f".join((self.rule, self.module, self.symbol, self.message))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def format_text(self) -> str:
+        location = f"{self.path}:{self.line}:{self.column}"
+        symbol = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule}{symbol}: {self.message}"
+
+
+def suppressed_rules_by_line(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them.
+
+    A directive on a standalone comment line also covers the next line, so a
+    suppression can sit above a long statement instead of trailing it.  Only
+    the *first* physical line of a multi-line statement is covered — rules
+    report violations at the statement head, which is where ``ast`` anchors
+    its line numbers.
+    """
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if match is None:
+            continue
+        rules = frozenset(part.strip() for part in match.group(1).split(","))
+        suppressed[index] = suppressed.get(index, frozenset()) | rules
+        if line.lstrip().startswith("#"):
+            # Standalone directive: extend the scope to the following line.
+            suppressed[index + 1] = suppressed.get(index + 1, frozenset()) | rules
+    return suppressed
+
+
+def is_suppressed(
+    violation: Violation, suppressed: Dict[int, FrozenSet[str]]
+) -> bool:
+    rules = suppressed.get(violation.line)
+    if not rules:
+        return False
+    return violation.rule in rules or SUPPRESS_ALL in rules
+
+
+def sort_violations(violations: List[Violation]) -> List[Violation]:
+    """Deterministic report order: by path, line, column, then rule id."""
+    return sorted(
+        violations,
+        key=lambda v: (v.path, v.line, v.column, v.rule, v.message),
+    )

@@ -1,0 +1,398 @@
+"""Parsed-project model for ``repro.lint``: modules, imports and call graph.
+
+A :class:`Project` is the unit every lint rule operates on: the ``ast`` trees
+of all modules under one package, plus three cheap cross-module indexes —
+
+* *name bindings* per module (``from repro.kernels.base import SFPKernel``
+  binds ``SFPKernel`` to the dotted target ``repro.kernels.base.SFPKernel``),
+* the *runtime import graph* (imports under ``if TYPE_CHECKING:`` are
+  excluded — they never execute, so they cannot leak behaviour), and
+* a best-effort *call graph* resolving ``Name``, ``module.attr`` and
+  ``self.method`` call sites to project functions or to builtins.
+
+The call resolution is deliberately conservative static analysis: anything it
+cannot resolve (dynamic dispatch, higher-order callables) is simply not an
+edge.  Rules that rely on reachability therefore under-approximate, which is
+the right failure mode for a checker gating CI — no false alarms from
+imaginary edges — while the known-bad fixture tests keep the resolution
+honest on the patterns the rules exist to catch.
+
+Projects load from a package directory (the real tree) or from an in-memory
+``{module name: source}`` mapping (the fixture tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Builtin callables that rules reason about; resolved as ``builtins.<name>``.
+BUILTIN_NAMES = frozenset(
+    {
+        "hash",
+        "id",
+        "repr",
+        "sorted",
+        "set",
+        "frozenset",
+        "dict",
+        "list",
+        "tuple",
+        "str",
+        "float",
+        "int",
+        "min",
+        "max",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: FunctionNode
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class LintModule:
+    """One parsed module plus its per-module indexes."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    bindings: Dict[str, str] = field(default_factory=dict)
+    runtime_imports: Set[str] = field(default_factory=set)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Unparse a pure ``Name``/``Attribute`` chain; ``None`` for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    target = dotted_name(test)
+    return target in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+class Project:
+    """All modules of one package, indexed for rule consumption."""
+
+    def __init__(self, modules: Dict[str, LintModule]) -> None:
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.package_names: Set[str] = {
+            name
+            for name in modules
+            if any(other.startswith(name + ".") for other in modules)
+        }
+        for module in modules.values():
+            self._index_module(module)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(cls, package_dir: Path, package: Optional[str] = None) -> "Project":
+        """Parse every ``*.py`` file under one package directory.
+
+        ``package_dir`` is the directory of the package itself (the one
+        containing the top-level ``__init__.py``); ``package`` defaults to
+        the directory name.
+        """
+        package_dir = Path(package_dir).resolve()
+        package_name = package or package_dir.name
+        modules: Dict[str, LintModule] = {}
+        for path in sorted(package_dir.rglob("*.py")):
+            relative = path.relative_to(package_dir)
+            parts = [package_name, *relative.parts[:-1]]
+            if relative.name != "__init__.py":
+                parts.append(relative.stem)
+            name = ".".join(parts)
+            display = str(Path(package_dir.name, *relative.parts))
+            source = path.read_text(encoding="utf-8")
+            modules[name] = _parse_module(name, display, source)
+        return cls(modules)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a project from ``{dotted module name: source}`` (tests)."""
+        modules = {
+            name: _parse_module(name, f"<memory>/{name}.py", source)
+            for name, source in sources.items()
+        }
+        return cls(modules)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def _index_module(self, module: LintModule) -> None:
+        _collect_imports(module)
+        for statement in module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module.name}.{statement.name}",
+                    module=module.name,
+                    name=statement.name,
+                    class_name=None,
+                    node=statement,
+                )
+                module.functions[info.qualname] = info
+            elif isinstance(statement, ast.ClassDef):
+                class_info = ClassInfo(
+                    qualname=f"{module.name}.{statement.name}",
+                    module=module.name,
+                    name=statement.name,
+                    node=statement,
+                )
+                for base in statement.bases:
+                    base_name = dotted_name(base)
+                    if base_name is not None:
+                        class_info.bases.append(base_name)
+                for member in statement.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = FunctionInfo(
+                            qualname=f"{class_info.qualname}.{member.name}",
+                            module=module.name,
+                            name=member.name,
+                            class_name=statement.name,
+                            node=member,
+                        )
+                        class_info.methods[member.name] = info
+                        module.functions[info.qualname] = info
+                module.classes[class_info.qualname] = class_info
+        self.functions.update(module.functions)
+        self.classes.update(module.classes)
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, module: LintModule, dotted: str) -> str:
+        """Rewrite a dotted chain through the module's import bindings."""
+        first, _, rest = dotted.partition(".")
+        target = module.bindings.get(first)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_base_class(self, module: LintModule, base: str) -> Optional[ClassInfo]:
+        """Resolve a base-class expression to a project class, if any."""
+        resolved = self.resolve_dotted(module, base)
+        return self.classes.get(resolved)
+
+    def resolve_call(
+        self,
+        module: LintModule,
+        call: ast.Call,
+        enclosing: Optional[FunctionInfo] = None,
+    ) -> Optional[str]:
+        """Qualified target of a call site, or ``None`` when unresolvable.
+
+        Returns a project function qualname, a project *class* qualname (for
+        constructor calls), or ``builtins.<name>`` for recognized builtins.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = f"{module.name}.{func.id}"
+            if local in self.functions:
+                return local
+            if local in self.classes:
+                return local
+            target = module.bindings.get(func.id)
+            if target is not None:
+                return target
+            if func.id in BUILTIN_NAMES:
+                return f"builtins.{func.id}"
+            return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        first, _, rest = dotted.partition(".")
+        if first in ("self", "cls") and rest:
+            if enclosing is not None and enclosing.class_name is not None:
+                candidate = f"{module.name}.{enclosing.class_name}.{rest}"
+                if candidate in self.functions:
+                    return candidate
+            return None
+        resolved = self.resolve_dotted(module, dotted)
+        if resolved in self.functions or resolved in self.classes:
+            return resolved
+        return None
+
+    # ------------------------------------------------------------------
+    # graphs
+    # ------------------------------------------------------------------
+    def reachable_functions(self, roots: Iterable[str]) -> Set[str]:
+        """Project functions reachable from ``roots`` through resolved calls.
+
+        Constructor calls continue into the class's ``__init__``.  The walk
+        stays within the project; builtins terminate an edge.
+        """
+        queue: List[str] = [root for root in roots if root in self.functions]
+        reachable: Set[str] = set(queue)
+        while queue:
+            qualname = queue.pop()
+            info = self.functions[qualname]
+            module = self.modules[info.module]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self.resolve_call(module, node, info)
+                if target is None or target.startswith("builtins."):
+                    continue
+                if target in self.classes:
+                    target = f"{target}.__init__"
+                if target in self.functions and target not in reachable:
+                    reachable.add(target)
+                    queue.append(target)
+        return reachable
+
+    def runtime_import_closure(self, root: str) -> Set[str]:
+        """Project modules transitively imported from ``root`` at runtime.
+
+        Follows the modules a file imports *by name* (including submodules
+        pulled in through ``from package import submodule``).  Package
+        ``__init__`` modules join the closure as members but their own
+        imports are not expanded: they are aggregation surfaces, and
+        following them would model interpreter import side effects
+        ("importing ``repro`` executes ``repro.core``") rather than what the
+        rules ask — "does this module's code use X".
+        """
+        if root not in self.modules:
+            return set()
+        closure: Set[str] = set()
+        queue = [root]
+        while queue:
+            name = queue.pop()
+            if name in closure or name not in self.modules:
+                continue
+            closure.add(name)
+            if name != root and name in self.package_names:
+                continue
+            module = self.modules[name]
+            queue.extend(
+                target for target in module.runtime_imports if target in self.modules
+            )
+        return closure
+
+    def enclosing_function(self, module: LintModule, node: ast.AST) -> Optional[str]:
+        """Qualname of the innermost indexed function containing ``node``."""
+        best: Optional[Tuple[int, str]] = None
+        node_line = getattr(node, "lineno", None)
+        if node_line is None:
+            return None
+        for info in module.functions.values():
+            start = info.node.lineno
+            end = getattr(info.node, "end_lineno", start)
+            if start <= node_line <= (end or start):
+                if best is None or start > best[0]:
+                    best = (start, info.qualname)
+        return best[1] if best is not None else None
+
+
+# ----------------------------------------------------------------------
+# module parsing helpers
+# ----------------------------------------------------------------------
+def _parse_module(name: str, path: str, source: str) -> LintModule:
+    tree = ast.parse(source, filename=path)
+    return LintModule(
+        name=name,
+        path=path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def _resolve_relative(module_name: str, level: int, target: Optional[str]) -> str:
+    """Absolute module named by a ``from``-import with ``level`` leading dots."""
+    if level == 0:
+        return target or ""
+    # Relative to the containing package: one level strips the module's own
+    # name, each further level one more package.  Module vs package __init__
+    # cannot be distinguished from the name alone; the repository uses
+    # absolute imports throughout, so this path is best-effort.
+    base = module_name.split(".")[:-level]
+    if target:
+        base.append(target)
+    return ".".join(base)
+
+
+def _collect_imports(module: LintModule) -> None:
+    """Populate ``bindings`` and ``runtime_imports`` for one module."""
+
+    def visit(statements: Iterable[ast.stmt], type_checking: bool) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    module.bindings[bound] = target
+                    if not type_checking:
+                        module.runtime_imports.add(alias.name)
+            elif isinstance(statement, ast.ImportFrom):
+                source = _resolve_relative(
+                    module.name, statement.level, statement.module
+                )
+                for alias in statement.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.bindings[bound] = f"{source}.{alias.name}" if source else alias.name
+                    if not type_checking:
+                        module.runtime_imports.add(source)
+                        # ``from package import submodule`` imports the
+                        # submodule at runtime as well.
+                        module.runtime_imports.add(
+                            f"{source}.{alias.name}" if source else alias.name
+                        )
+            elif isinstance(statement, ast.If):
+                guarded = type_checking or _is_type_checking_test(statement.test)
+                visit(statement.body, guarded)
+                visit(statement.orelse, type_checking)
+            elif isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.With, ast.Try),
+            ):
+                bodies: List[Iterable[ast.stmt]] = [statement.body]
+                if isinstance(statement, ast.Try):
+                    bodies.extend(handler.body for handler in statement.handlers)
+                    bodies.append(statement.orelse)
+                    bodies.append(statement.finalbody)
+                for body in bodies:
+                    visit(body, type_checking)
+
+    visit(module.tree.body, False)

@@ -1,0 +1,25 @@
+"""Domain rules of ``repro.lint``.
+
+Importing this package registers every rule with
+:data:`repro.lint.registry.RULES` — the same import-time registration idiom
+the kernel backends use.  One module per rule keeps each invariant's
+detection logic reviewable next to its rationale.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    r001_fingerprint_purity,
+    r002_kernel_contract,
+    r003_structure_token,
+    r004_seeded_rng,
+    r005_decimal_float,
+)
+
+__all__ = [
+    "r001_fingerprint_purity",
+    "r002_kernel_contract",
+    "r003_structure_token",
+    "r004_seeded_rng",
+    "r005_decimal_float",
+]

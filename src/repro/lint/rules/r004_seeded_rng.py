@@ -1,0 +1,91 @@
+"""R004 — seeded-RNG-only: no interpreter-global random state, anywhere.
+
+Every stochastic quantity in the reproduction (synthetic benchmark graphs,
+platform generation, Monte-Carlo fault injection) must flow from an explicit
+seeded generator (``numpy.random.default_rng(seed)`` or a ``random.Random``
+instance threaded through call signatures).  Module-level RNG calls —
+``random.random()``, ``np.random.seed()``, ``np.random.rand()`` — share
+hidden global state: results then depend on *call order across the whole
+process*, which breaks the n_jobs determinism contract (each worker must
+produce bit-identical results regardless of scheduling) and makes golden
+fixtures irreproducible.
+
+The rule flags every call through the ``random`` module's functions (the
+seedable-instance constructor ``random.Random`` is allowed) and every call
+into ``numpy.random``'s global-state API (``default_rng``, ``Generator`` and
+``SeedSequence`` are allowed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.model import Violation
+from repro.lint.project import LintModule, Project, dotted_name
+from repro.lint.registry import LintRule, register_rule
+
+#: Attributes of the stdlib ``random`` module that are allowed (explicit,
+#: seedable instances; everything else is global-state).
+_ALLOWED_RANDOM = frozenset({"Random"})
+
+#: Attributes of ``numpy.random`` that construct explicit seeded generators.
+_ALLOWED_NUMPY_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+@register_rule
+class SeededRngRule(LintRule):
+    """All randomness flows from explicit seeded generators."""
+
+    rule_id = "R004"
+    title = "seeded-RNG-only: no global random state"
+    rationale = (
+        "global RNG state makes results depend on process-wide call order, "
+        "breaking parallel-sweep determinism and golden fixtures"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                verdict = self._classify(project, module, node)
+                if verdict is None:
+                    continue
+                family, function_name = verdict
+                yield Violation(
+                    rule=self.rule_id,
+                    module=module.name,
+                    path=module.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    symbol=project.enclosing_function(module, node) or "",
+                    message=(
+                        f"global-state RNG call {family}.{function_name}(); "
+                        f"thread an explicit seeded generator "
+                        f"(numpy.random.default_rng(seed) / random.Random(seed)) "
+                        f"through the call signature instead"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    def _classify(
+        self, project: Project, module: LintModule, call: ast.Call
+    ) -> Optional[Tuple[str, str]]:
+        """``(family, function)`` when the call hits a global-state RNG."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        resolved = project.resolve_dotted(module, dotted)
+        if resolved.startswith("random."):
+            function_name = resolved.split(".", 1)[1]
+            if function_name not in _ALLOWED_RANDOM:
+                return ("random", function_name)
+            return None
+        if resolved.startswith("numpy.random."):
+            function_name = resolved.split(".", 2)[2]
+            head = function_name.split(".", 1)[0]
+            if head not in _ALLOWED_NUMPY_RANDOM:
+                return ("numpy.random", function_name)
+            return None
+        return None

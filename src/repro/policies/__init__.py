@@ -12,6 +12,8 @@ used to study the same trade-offs:
   on several nodes.
 """
 
+from __future__ import annotations
+
 from repro.policies.checkpointing import (
     CheckpointingPlan,
     optimal_checkpoint_count,

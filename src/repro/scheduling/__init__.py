@@ -1,5 +1,7 @@
 """Static cyclic scheduling with recovery slack for re-executions."""
 
+from __future__ import annotations
+
 from repro.scheduling.list_scheduler import ListScheduler
 from repro.scheduling.schedule import Schedule, ScheduledMessage, ScheduledProcess
 from repro.scheduling.slack import naive_recovery_slack, shared_recovery_slack

@@ -11,7 +11,7 @@ transmission).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.core.exceptions import SchedulingError

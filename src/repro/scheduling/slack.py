@@ -15,7 +15,7 @@ The module provides both the shared slack used by the paper and the naive
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.exceptions import ModelError
 

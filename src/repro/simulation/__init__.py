@@ -10,6 +10,8 @@ absorb and (b) whether the realized node completion times ever exceed the
 analytic worst case.
 """
 
+from __future__ import annotations
+
 from repro.simulation.fault_simulator import (
     FaultScenarioSimulator,
     IterationOutcome,

@@ -1,5 +1,7 @@
 """Small shared utilities (pessimistic rounding, validation helpers)."""
 
+from __future__ import annotations
+
 from repro.utils.rounding import (
     DEFAULT_DECIMALS,
     ceil_probability,

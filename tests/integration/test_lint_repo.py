@@ -1,0 +1,72 @@
+"""The real tree passes its own invariant checker with the committed baseline.
+
+This is the same gate CI runs: ``repro-ftes lint --strict-baseline`` must
+exit 0 — no new violations, and no stale baseline entries (debt paid down
+without regenerating ``lint-baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def run_lint_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": ""},
+    )
+
+
+def test_repo_is_clean_under_strict_baseline():
+    result = run_lint_cli("--strict-baseline")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_json_report_has_no_new_violations():
+    result = run_lint_cli("--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["new_count"] == 0
+    assert payload["rules"] == ["R001", "R002", "R003", "R004", "R005"]
+    # The whole package is being checked, not a subtree.
+    assert payload["checked_modules"] >= 80
+
+
+def test_committed_baseline_parses_and_matches_current_findings():
+    from repro.lint import load_baseline
+
+    entries = load_baseline(REPO / "lint-baseline.json")
+    result = run_lint_cli("--format", "json")
+    payload = json.loads(result.stdout)
+    assert len(entries) == payload["baselined_count"]
+    assert payload["stale_entries"] == []
+
+
+def test_rule_listing_names_all_invariants():
+    result = run_lint_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule_id in result.stdout
+
+
+def test_seeded_known_bad_tree_fails(tmp_path):
+    package = tmp_path / "repro"
+    package.mkdir()
+    (package / "__init__.py").write_text("")
+    (package / "generator").mkdir()
+    (package / "generator" / "__init__.py").write_text("")
+    (package / "generator" / "bad.py").write_text(
+        "import random\n\n\ndef jitter():\n    return random.random()\n"
+    )
+    result = run_lint_cli("--root", str(package), "--no-baseline")
+    assert result.returncode == 1
+    assert "R004" in result.stdout

@@ -1,0 +1,655 @@
+"""Fixture tests for the ``repro.lint`` rules, suppressions and baseline.
+
+Each rule gets at least one known-bad fixture (the rule must fire, on the
+right line/symbol) and one known-good fixture (the rule must stay quiet).
+The fixtures are in-memory modules loaded through
+:meth:`repro.lint.project.Project.from_sources`, so the tests pin the *rule
+semantics*, independent of the state of the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Violation,
+    load_baseline,
+    match_baseline,
+    run_lint,
+    save_baseline,
+)
+from repro.lint.baseline import BaselineError, entry_for
+from repro.lint.model import is_suppressed, suppressed_rules_by_line
+from repro.lint.project import Project
+
+
+def project_from(**sources: str) -> Project:
+    return Project.from_sources(
+        {name: textwrap.dedent(source) for name, source in sources.items()}
+    )
+
+
+def findings(project: Project, rule_id: str):
+    return list(RULES.get(rule_id).check(project))
+
+
+# ----------------------------------------------------------------------
+# R001 — fingerprint purity
+# ----------------------------------------------------------------------
+class TestFingerprintPurity:
+    def test_builtin_hash_on_key_path_fires(self):
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                def application_fingerprint(app):
+                    return hash((app.name, app.deadline))
+                """
+            }
+        )
+        (violation,) = findings(project, "R001")
+        assert violation.symbol == "repro.engine.fingerprint.application_fingerprint"
+        assert "hash()" in violation.message
+        assert violation.line == 3
+
+    def test_impurity_reached_through_helper_module_fires(self):
+        # The closure must follow calls across modules: the root delegates to
+        # a helper whose body uses id().
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                from repro.engine.helper import canonical
+
+                def context_fingerprint(app):
+                    return canonical(app)
+                """,
+                "repro.engine.helper": """
+                def canonical(app):
+                    return id(app)
+                """,
+            }
+        )
+        (violation,) = findings(project, "R001")
+        assert violation.module == "repro.engine.helper"
+        assert "id()" in violation.message
+
+    def test_set_iteration_on_key_path_fires(self):
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                def profile_fingerprint(entries):
+                    return tuple(e for e in set(entries))
+                """
+            }
+        )
+        (violation,) = findings(project, "R001")
+        assert "set has hash-dependent order" in violation.message
+
+    def test_unsorted_dict_view_fires_and_sorted_is_quiet(self):
+        bad = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                def profile_fingerprint(table):
+                    return tuple(k for k in table.items())
+                """
+            }
+        )
+        good = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                def profile_fingerprint(table):
+                    return tuple(sorted(k for k in table.items()))
+                """
+            }
+        )
+        assert len(findings(bad, "R001")) == 1
+        assert findings(good, "R001") == []
+
+    def test_impurity_off_the_key_path_is_quiet(self):
+        # hash() in an unrelated module that the key roots never call.
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                def application_fingerprint(app):
+                    return (app.name, app.deadline)
+                """,
+                "repro.scheduling.schedule": """
+                class Schedule:
+                    def __hash__(self):
+                        return hash(self.name)
+                """,
+            }
+        )
+        assert findings(project, "R001") == []
+
+    def test_store_key_methods_are_roots(self):
+        project = project_from(
+            **{
+                "repro.engine.store": """
+                class DesignPointStore:
+                    def context_key(self, engine):
+                        return repr(engine.context)
+                """
+            }
+        )
+        (violation,) = findings(project, "R001")
+        assert violation.symbol == "repro.engine.store.DesignPointStore.context_key"
+        assert "repr()" in violation.message
+
+
+# ----------------------------------------------------------------------
+# R002 — kernel-contract conformance
+# ----------------------------------------------------------------------
+_BASE = """
+class SFPKernel:
+    name = ""
+    description = ""
+    priority = 0
+
+    def probability_exceeds(self, probabilities, reexecutions, threshold):
+        raise NotImplementedError
+"""
+
+
+class TestKernelContract:
+    def test_conforming_backend_is_quiet(self):
+        project = project_from(
+            **{
+                "repro.kernels.base": _BASE,
+                "repro.kernels.custom": """
+                from repro.kernels.base import SFPKernel
+
+                class GoodKernel(SFPKernel):
+                    name = "good"
+                    description = "conforming fixture backend"
+                    priority = 10
+
+                    def probability_exceeds(self, probabilities, reexecutions, threshold):
+                        return 0.0
+                """,
+            }
+        )
+        assert findings(project, "R002") == []
+
+    def test_missing_method_fires(self):
+        project = project_from(
+            **{
+                "repro.kernels.base": _BASE,
+                "repro.kernels.custom": """
+                from repro.kernels.base import SFPKernel
+
+                class LazyKernel(SFPKernel):
+                    name = "lazy"
+                    description = "misses the abstract method"
+                    priority = 10
+                """,
+            }
+        )
+        (violation,) = findings(project, "R002")
+        assert "does not implement abstract method probability_exceeds()" in violation.message
+
+    def test_signature_drift_fires(self):
+        project = project_from(
+            **{
+                "repro.kernels.base": _BASE,
+                "repro.kernels.custom": """
+                from repro.kernels.base import SFPKernel
+
+                class DriftedKernel(SFPKernel):
+                    name = "drifted"
+                    description = "renamed a positional argument"
+                    priority = 10
+
+                    def probability_exceeds(self, probs, reexecutions, threshold):
+                        return 0.0
+                """,
+            }
+        )
+        (violation,) = findings(project, "R002")
+        assert "signature drifts" in violation.message
+
+    def test_mutable_class_state_fires(self):
+        project = project_from(
+            **{
+                "repro.kernels.base": _BASE,
+                "repro.kernels.custom": """
+                from repro.kernels.base import SFPKernel
+
+                class SharedStateKernel(SFPKernel):
+                    name = "shared"
+                    description = "class-level scratch buffer"
+                    priority = 10
+                    _scratch = []
+
+                    def probability_exceeds(self, probabilities, reexecutions, threshold):
+                        return 0.0
+                """,
+            }
+        )
+        (violation,) = findings(project, "R002")
+        assert "mutable class state" in violation.message
+
+    def test_missing_registry_attr_fires(self):
+        project = project_from(
+            **{
+                "repro.kernels.base": _BASE,
+                "repro.kernels.custom": """
+                from repro.kernels.base import SFPKernel
+
+                class AnonymousKernel(SFPKernel):
+                    name = "anonymous"
+                    description = "priority missing"
+
+                    def probability_exceeds(self, probabilities, reexecutions, threshold):
+                        return 0.0
+                """,
+            }
+        )
+        (violation,) = findings(project, "R002")
+        assert "registry attribute 'priority'" in violation.message
+
+    def test_cache_key_module_importing_kernels_fires(self):
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                from repro.kernels.registry import SFP_KERNELS
+
+                def application_fingerprint(app):
+                    return (app.name, SFP_KERNELS)
+                """,
+                "repro.kernels.registry": """
+                SFP_KERNELS = None
+                """,
+            }
+        )
+        violations = findings(project, "R002")
+        assert any("kernel selection must not leak" in v.message for v in violations)
+
+    def test_type_checking_only_import_is_quiet(self):
+        project = project_from(
+            **{
+                "repro.engine.fingerprint": """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.kernels.registry import SFP_KERNELS
+
+                def application_fingerprint(app):
+                    return (app.name,)
+                """,
+                "repro.kernels.registry": """
+                SFP_KERNELS = None
+                """,
+            }
+        )
+        assert findings(project, "R002") == []
+
+
+# ----------------------------------------------------------------------
+# R003 — structure-token safety
+# ----------------------------------------------------------------------
+_TASKGRAPH = """
+class TaskGraph:
+    def __init__(self):
+        self._graph = {}
+        self._messages = {}
+
+    def add_message(self, message):
+        self._messages[message.name] = message
+        self._bump()
+"""
+
+
+class TestStructureToken:
+    def test_mutation_inside_sanctioned_mutator_is_quiet(self):
+        project = project_from(**{"repro.core.application": _TASKGRAPH})
+        assert findings(project, "R003") == []
+
+    def test_foreign_mutation_fires(self):
+        project = project_from(
+            **{
+                "repro.core.application": _TASKGRAPH,
+                "repro.experiments.hacks": """
+                def rewire(graph, message):
+                    graph._messages[message.name] = message
+                """,
+            }
+        )
+        (violation,) = findings(project, "R003")
+        assert violation.module == "repro.experiments.hacks"
+        assert "._messages" in violation.message.replace(" ", "")
+
+    def test_unsanctioned_method_of_owner_fires(self):
+        project = project_from(
+            **{
+                "repro.core.application": _TASKGRAPH
+                + """
+    def sneaky_edit(self, message):
+        self._messages.pop(message.name)
+"""
+            }
+        )
+        (violation,) = findings(project, "R003")
+        assert "mutating call .pop()" in violation.message
+
+    def test_networkx_style_mutator_fires(self):
+        project = project_from(
+            **{
+                "repro.scheduling.rewire": """
+                def rewire(graph, a, b):
+                    graph._graph.add_edge(a, b)
+                """
+            }
+        )
+        (violation,) = findings(project, "R003")
+        assert "mutating call .add_edge()" in violation.message
+
+    def test_read_access_is_quiet(self):
+        project = project_from(
+            **{
+                "repro.scheduling.reader": """
+                def processes(schedule):
+                    return list(schedule._processes)
+                """
+            }
+        )
+        assert findings(project, "R003") == []
+
+
+# ----------------------------------------------------------------------
+# R004 — seeded RNG only
+# ----------------------------------------------------------------------
+class TestSeededRng:
+    def test_module_level_random_fires(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            }
+        )
+        (violation,) = findings(project, "R004")
+        assert "random.random()" in violation.message
+
+    def test_numpy_global_state_fires(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import numpy as np
+
+                def draw(n):
+                    np.random.seed(0)
+                    return np.random.rand(n)
+                """
+            }
+        )
+        messages = sorted(v.message for v in findings(project, "R004"))
+        assert len(messages) == 2
+        assert "numpy.random.rand()" in messages[0]
+        assert "numpy.random.seed()" in messages[1]
+
+    def test_seeded_generators_are_quiet(self):
+        project = project_from(
+            **{
+                "repro.generator.good": """
+                import random
+                import numpy as np
+
+                def draw(n, seed):
+                    rng = np.random.default_rng(seed)
+                    local = random.Random(seed)
+                    return rng.random(n), local.random()
+                """
+            }
+        )
+        assert findings(project, "R004") == []
+
+
+# ----------------------------------------------------------------------
+# R005 — Decimal/float mixing
+# ----------------------------------------------------------------------
+class TestDecimalFloat:
+    def test_decimal_from_float_fires(self):
+        project = project_from(
+            **{
+                "repro.utils.chain": """
+                from decimal import Decimal
+
+                def grid(x):
+                    return Decimal(0.1) + Decimal(repr(x))
+                """
+            }
+        )
+        (violation,) = findings(project, "R005")
+        assert "constructed from a float" in violation.message
+
+    def test_mixed_arithmetic_fires(self):
+        project = project_from(
+            **{
+                "repro.utils.chain": """
+                from decimal import Decimal
+
+                def shift(x):
+                    d = Decimal(repr(x))
+                    scale = 0.5
+                    return d * scale
+                """
+            }
+        )
+        (violation,) = findings(project, "R005")
+        assert "arithmetic mixes Decimal and float" in violation.message
+
+    def test_mixed_comparison_fires(self):
+        project = project_from(
+            **{
+                "repro.utils.chain": """
+                from decimal import Decimal
+
+                def exceeds(x, threshold):
+                    d = Decimal(repr(x))
+                    return d > 0.5
+                """
+            }
+        )
+        (violation,) = findings(project, "R005")
+        assert "comparison mixes Decimal and float" in violation.message
+
+    def test_pure_decimal_chain_is_quiet(self):
+        project = project_from(
+            **{
+                "repro.utils.chain": """
+                from decimal import Decimal
+
+                def chain(x, quantum):
+                    d = Decimal(repr(x))
+                    q = Decimal(1).scaleb(-quantum)
+                    return (d * q).quantize(q) >= Decimal(0)
+                """
+            }
+        )
+        assert findings(project, "R005") == []
+
+    def test_module_without_decimal_is_skipped(self):
+        project = project_from(
+            **{
+                "repro.utils.plain": """
+                def blend(a, b):
+                    return a * 0.5 + b * 0.5
+                """
+            }
+        )
+        assert findings(project, "R005") == []
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_trailing_directive_silences_the_line(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()  # repro-lint: disable=R004 -- fixture
+                """
+            }
+        )
+        report = run_lint(project)
+        assert report.violations == []
+        assert report.suppressed_count == 1
+
+    def test_standalone_directive_covers_next_line(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    # repro-lint: disable=R004 -- fixture
+                    return random.random()
+                """
+            }
+        )
+        report = run_lint(project)
+        assert report.violations == []
+        assert report.suppressed_count == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()  # repro-lint: disable=R001 -- wrong rule
+                """
+            }
+        )
+        report = run_lint(project)
+        assert [v.rule for v in report.violations] == ["R004"]
+
+    def test_disable_all_suppresses_every_rule(self):
+        lines = ["x = 1  # repro-lint: disable=all"]
+        suppressed = suppressed_rules_by_line(lines)
+        violation = Violation(
+            rule="R004", module="m", path="m.py", line=1, column=0, symbol="", message="x"
+        )
+        assert is_suppressed(violation, suppressed)
+
+
+# ----------------------------------------------------------------------
+# baseline mechanics
+# ----------------------------------------------------------------------
+def _violation(message: str, line: int = 1) -> Violation:
+    return Violation(
+        rule="R004",
+        module="repro.generator.bad",
+        path="repro/generator/bad.py",
+        line=line,
+        column=0,
+        symbol="repro.generator.bad.jitter",
+        message=message,
+    )
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_insensitive(self):
+        assert _violation("x", line=3).fingerprint() == _violation("x", line=99).fingerprint()
+
+    def test_match_splits_new_baselined_stale(self):
+        known = _violation("known")
+        fixed = _violation("fixed long ago")
+        fresh = _violation("fresh")
+        baseline = [entry_for(known), entry_for(fixed)]
+        new, baselined, stale = match_baseline([known, fresh], baseline)
+        assert new == [fresh]
+        assert baselined == [known]
+        assert [entry.fingerprint for entry in stale] == [entry_for(fixed).fingerprint]
+
+    def test_multiset_matching_needs_one_entry_per_finding(self):
+        duplicate = _violation("dup")
+        baseline = [entry_for(duplicate)]
+        new, baselined, _ = match_baseline([duplicate, duplicate], baseline)
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        violations = [_violation("b"), _violation("a")]
+        assert save_baseline(path, violations) == 2
+        entries = load_baseline(path)
+        assert [entry.message for entry in entries] == ["a", "b"]  # sorted
+        assert load_baseline(tmp_path / "missing.json") == []
+
+    def test_rejects_foreign_layout(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 999, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_run_lint_applies_baseline(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            }
+        )
+        first = run_lint(project)
+        assert len(first.new) == 1
+        second = run_lint(project, baseline=[entry_for(v) for v in first.violations])
+        assert second.new == []
+        assert len(second.baselined) == 1
+        assert second.exit_code() == 0
+        assert first.exit_code() == 1
+
+
+# ----------------------------------------------------------------------
+# registry / report plumbing
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_five_rules_registered_in_order(self):
+        assert RULES.ids() == ["R001", "R002", "R003", "R004", "R005"]
+
+    def test_rule_selection_restricts_the_run(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            }
+        )
+        report = run_lint(project, rule_ids=["R001"])
+        assert report.rule_ids == ["R001"]
+        assert report.violations == []
+
+    def test_report_as_dict_marks_baselined(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            }
+        )
+        first = run_lint(project)
+        second = run_lint(project, baseline=[entry_for(v) for v in first.violations])
+        payload = second.as_dict()
+        assert payload["new_count"] == 0
+        assert payload["violations"][0]["baselined"] is True
