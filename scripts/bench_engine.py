@@ -10,8 +10,12 @@ run).  A kernel microbenchmark times the raw SFP primitives, and a
 cold-vs-warm pass against a throwaway persistent design-point store records
 what a second run of the same sweep saves.
 
-Writes a JSON timing artifact used by CI for trajectory tracking.  Run from
-the repository root:
+Writes a JSON timing artifact used by CI for trajectory tracking, and
+appends one line per run to a JSONL history file (git sha, kernel pairs,
+batch fill rate, wall clocks).  The history is the regression gate: a pair
+that runs more than ``--max-regression`` slower than the previous comparable
+entry (same benchmark, same machine/python, same local-vs-CI source) fails
+the run.  Run from the repository root:
 
     PYTHONPATH=src python scripts/bench_engine.py --output BENCH_engine.json
 """
@@ -19,11 +23,15 @@ the repository root:
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import platform
+import subprocess
 import tempfile
 import time
 from pathlib import Path
+from typing import List, Optional
 
 from repro import api
 from repro.kernels import (
@@ -97,6 +105,68 @@ def _microbench(kernel_name: str) -> dict:
     }
 
 
+def _git_sha() -> str:
+    """Short commit hash of the working tree, or ``unknown`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def _pair_entry(run: dict) -> dict:
+    """The per-pair slice of one sweep run that the history series tracks."""
+    return {
+        "wall_clock_seconds": run["wall_clock_seconds"],
+        "batch_rows": run["cache"]["batch_rows"],
+        "batch_fill_rate": round(run["cache"]["batch_fill_rate"], 4),
+    }
+
+
+def _append_history(
+    path: Path, record: dict, max_regression: Optional[float]
+) -> List[str]:
+    """Append ``record`` to the JSONL series; gate against the previous entry.
+
+    Only entries from the same benchmark on the same machine/python and the
+    same source (local vs CI) are comparable — the first entry of a new
+    environment records a baseline and gates nothing.
+    """
+    previous = None
+    if path.exists():
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if all(
+                entry.get(key) == record[key]
+                for key in ("benchmark", "machine", "python", "source")
+            ):
+                previous = entry
+    errors = []
+    if previous is not None and max_regression is not None:
+        for pair, timing in record["pairs"].items():
+            before = previous.get("pairs", {}).get(pair, {})
+            before_seconds = before.get("wall_clock_seconds")
+            seconds = timing["wall_clock_seconds"]
+            if before_seconds and seconds > before_seconds * (1.0 + max_regression):
+                errors.append(
+                    f"timing regression: pair {pair} ran {seconds}s vs "
+                    f"{before_seconds}s in the previous entry "
+                    f"({previous.get('git_sha')}), beyond the "
+                    f"{max_regression:.0%} budget"
+                )
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -110,6 +180,21 @@ def main() -> int:
         choices=["smoke", "fast"],
         default="fast",
         help="experiment preset to benchmark",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path("BENCH_history.jsonl"),
+        help="JSONL timing series to append to (one record per run)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help=(
+            "fail when a kernel pair runs this fraction slower than the "
+            "previous comparable history entry; negative disables the gate"
+        ),
     )
     arguments = parser.parse_args()
 
@@ -157,6 +242,31 @@ def main() -> int:
                 sched_reference["wall_clock_seconds"] / run["wall_clock_seconds"], 3
             )
 
+    # Combined batched pair: both families' batch backends in one session —
+    # the configuration the DSE neighbourhood batching targets.  Same
+    # bit-identity gate as the per-family loops, plus a cold-store pass so
+    # the history series tracks the end-to-end compute-everything cost.
+    batch_pair = None
+    if "batch" in names and "batch" in sched_names:
+        batch_pair = _run_sweep(arguments.preset, "batch", sched_kernel="batch")
+        if (
+            reference_run is not None
+            and batch_pair["acceptance"] != reference_run["acceptance"]
+        ):
+            errors.append("batch+batch kernel pair acceptance differs from reference")
+        if batch_pair["cache"]["batch_rows"] == 0:
+            errors.append("batch+batch kernel pair reported zero batched rows")
+        with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as store_dir:
+            batch_cold = _run_sweep(
+                arguments.preset,
+                "batch",
+                sched_kernel="batch",
+                store_dir=Path(store_dir),
+            )
+        batch_pair["cold_store_wall_clock_seconds"] = batch_cold[
+            "wall_clock_seconds"
+        ]
+
     # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
         cold = _run_sweep(arguments.preset, names[0], store_dir=Path(store_dir))
@@ -188,10 +298,44 @@ def main() -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
+    if batch_pair is not None:
+        payload["batch_pair"] = batch_pair
     arguments.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    pairs = {
+        f"{names[0]}+{headline_sched}": dict(
+            _pair_entry(fastest),
+            cold_store_wall_clock_seconds=store_report["cold_wall_clock_seconds"],
+        )
+    }
+    if batch_pair is not None:
+        pairs["batch+batch"] = dict(
+            _pair_entry(batch_pair),
+            cold_store_wall_clock_seconds=batch_pair[
+                "cold_store_wall_clock_seconds"
+            ],
+        )
+    history_record = {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
+        "benchmark": payload["benchmark"],
+        "python": payload["python"],
+        "machine": payload["machine"],
+        "source": "ci" if os.environ.get("GITHUB_ACTIONS") else "local",
+        "pairs": pairs,
+    }
+    max_regression = (
+        arguments.max_regression if arguments.max_regression >= 0 else None
+    )
+    errors.extend(
+        _append_history(arguments.history, history_record, max_regression)
+    )
 
     print(json.dumps(payload, indent=2))
     print(f"\nartifact written to {arguments.output}")
+    print(f"history entry appended to {arguments.history}")
     for error in errors:
         print(f"ERROR: {error}")
     return 1 if errors else 0

@@ -51,6 +51,9 @@ _EMPTY_CACHE_REPORT: Dict[str, float] = {
     "hit_rate": 0.0,
     "disk_hits": 0,
     "disk_entries_loaded": 0,
+    "batch_rows": 0,
+    "batch_cold_rows": 0,
+    "batch_fill_rate": 0.0,
 }
 
 

@@ -32,12 +32,15 @@ by the equivalence test-suite.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.core.application import Application
 from repro.core.profile import ExecutionProfile
-from repro.engine.cache import CacheStats, MemoCache
-from repro.engine.fingerprint import context_fingerprint
+from repro.engine.cache import MISS, BatchStats, CacheStats, MemoCache
+from repro.engine.fingerprint import (
+    context_fingerprint,
+    stable_context_fingerprint,
+)
 from repro.kernels.base import SFPKernel
 from repro.kernels.registry import active_sched_kernel, resolve_kernel
 from repro.utils.rounding import DEFAULT_DECIMALS
@@ -68,8 +71,10 @@ class EvaluationEngine:
         #: bit-identical, so the kernel is *not* part of any memo key and
         #: cached entries stay valid across kernel switches.
         self.kernel = resolve_kernel(kernel)
-        #: Content hash of the bound context; part of every persisted record.
-        self.context = context_fingerprint(application, profile)
+        #: Lazily-computed context hashes (see :attr:`context` and
+        #: :meth:`stable_context`) — ``None`` until first requested.
+        self._context: Union[int, None] = None
+        self._stable_context: Union[str, None] = None
         self.decisions = MemoCache("decisions")
         self.optimizations = MemoCache("optimizations")
         self.exceedance = MemoCache("exceedance")
@@ -78,10 +83,39 @@ class EvaluationEngine:
         #: Number of design points actually evaluated (decision-cache misses
         #: that ran the re-execution optimizer + scheduler).
         self.evaluations = 0
+        #: Counters of batched neighbourhood partitions (rows handed to
+        #: batched lookups vs. residual cold rows that reached a kernel).
+        self.batch = BatchStats()
 
     # ------------------------------------------------------------------
     # context safety
     # ------------------------------------------------------------------
+    @property
+    def context(self) -> int:
+        """Content hash of the bound context (diagnostics and reports).
+
+        Computed on first access: the canonical encoding walks the whole
+        application and profile, which is pure overhead on the DSE hot path
+        (context safety uses identity, see :meth:`matches`).
+        """
+        if self._context is None:
+            self._context = context_fingerprint(self.application, self.profile)
+        return self._context
+
+    def stable_context(self) -> str:
+        """Cross-process content hash of the bound context, computed once.
+
+        The application and profile are immutable for the engine's lifetime
+        (the premise of every memo table), so the canonical encoding —
+        which walks both structures in full — runs at most once per engine
+        instead of once per store interaction (warm + persist + path).
+        """
+        if self._stable_context is None:
+            self._stable_context = stable_context_fingerprint(
+                self.application, self.profile
+            )
+        return self._stable_context
+
     def matches(self, application: Application, profile: ExecutionProfile) -> bool:
         """Is the engine bound to exactly this (application, profile) pair?
 
@@ -97,10 +131,14 @@ class EvaluationEngine:
         self, probabilities: Tuple[float, ...], decimals: int
     ) -> float:
         """Memoized formula (1) for one node's failure-probability tuple."""
-        return self.no_fault.memoize(
-            (probabilities, decimals),
-            lambda: self.kernel.probability_no_fault(probabilities, decimals),
-        )
+        cache = self.no_fault
+        key = (probabilities, decimals)
+        value = cache.get(key)
+        if value is MISS:
+            value = cache.put(
+                key, self.kernel.probability_no_fault(probabilities, decimals)
+            )
+        return value
 
     def node_exceedance(
         self, probabilities: Tuple[float, ...], reexecutions: int, decimals: int
@@ -112,21 +150,77 @@ class EvaluationEngine:
         and bit-identical results with the unmemoized path are a hard
         requirement.
         """
-        return self.exceedance.memoize(
-            (probabilities, reexecutions, decimals),
-            lambda: self.kernel.probability_exceeds(
-                probabilities, reexecutions, decimals
-            ),
-        )
+        cache = self.exceedance
+        key = (probabilities, reexecutions, decimals)
+        value = cache.get(key)
+        if value is MISS:
+            value = cache.put(
+                key,
+                self.kernel.probability_exceeds(
+                    probabilities, reexecutions, decimals
+                ),
+            )
+        return value
 
     def system_failure(
         self, exceedances: Tuple[float, ...], decimals: int
     ) -> float:
         """Memoized formula (5) for an ordered per-node exceedance tuple."""
-        return self.system.memoize(
-            (exceedances, decimals),
-            lambda: self.kernel.system_failure(exceedances, decimals),
-        )
+        cache = self.system
+        key = (exceedances, decimals)
+        value = cache.get(key)
+        if value is MISS:
+            value = cache.put(
+                key, self.kernel.system_failure(exceedances, decimals)
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # batched SFP layer — whole neighbourhoods per call
+    # ------------------------------------------------------------------
+    def batch_node_exceedance(
+        self,
+        requests: Sequence[Tuple[Tuple[float, ...], int]],
+        decimals: int,
+    ) -> List[float]:
+        """Memoized formula (4) for a block of (probabilities, budget) rows.
+
+        The batch is partitioned against the exceedance memo: hits (memo or
+        warm store) are served in place, the residual cold block goes to the
+        kernel's :meth:`~repro.kernels.base.SFPKernel.batch_probability_exceeds`
+        in one call (vectorized on ``supports_batch`` backends, the scalar
+        fallback loop otherwise).  Results and cache counters are identical
+        to issuing the rows as sequential :meth:`node_exceedance` calls —
+        duplicate rows inside one batch count as hits on their first
+        occurrence's computation, exactly like the scalar sequence.
+        """
+        keys = [
+            (probabilities, budget, decimals)
+            for probabilities, budget in requests
+        ]
+        values, cold, duplicates = self.exceedance.get_many(keys)
+        if cold:
+            blocks = [requests[position][0] for position in cold]
+            budgets = [requests[position][1] for position in cold]
+            computed = self.kernel.batch_probability_exceeds(
+                blocks, budgets, decimals
+            )
+            for position, value in zip(cold, computed):
+                values[position] = self.exceedance.put(keys[position], value)
+            for position, first in duplicates.items():
+                values[position] = values[first]
+        self.batch.record(rows=len(keys), cold_rows=len(cold))
+        return values
+
+    def record_batch(self, rows: int, cold_rows: int) -> None:
+        """Attribute one batched partition done by a consumer layer.
+
+        The redundancy layer partitions whole *design-point* neighbourhoods
+        against the decision memo before any kernel is involved; its batch
+        sizes and fill rates land in the same counters as the kernel-level
+        partitions of :meth:`batch_node_exceedance`.
+        """
+        self.batch.record(rows=rows, cold_rows=cold_rows)
 
     # ------------------------------------------------------------------
     # statistics
@@ -175,6 +269,7 @@ class EvaluationEngine:
             "disk_hits": self.disk_hits,
             "kernel": self.kernel.name,
             "sched_kernel": active_sched_kernel().name,
+            "batch": self.batch.as_dict(),
             "caches": self.stats_by_cache(),
         }
 

@@ -41,8 +41,6 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Dict, Optional, TYPE_CHECKING
 
-from repro.engine.fingerprint import stable_context_fingerprint
-
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.engine import EvaluationEngine
 
@@ -110,8 +108,9 @@ class DesignPointStore:
     # ------------------------------------------------------------------
     def context_key(self, engine: "EvaluationEngine") -> str:
         """Stable, salted file key for the engine's bound context."""
-        stable = stable_context_fingerprint(engine.application, engine.profile)
-        return sha256(f"{self.salt}|{stable}".encode("utf-8")).hexdigest()
+        return sha256(
+            f"{self.salt}|{engine.stable_context()}".encode("utf-8")
+        ).hexdigest()
 
     def path_for(self, engine: "EvaluationEngine") -> Path:
         return self.directory / f"{self.context_key(engine)}.pkl"

@@ -284,13 +284,17 @@ def resolve_sched_kernel(
 # its kernel through this registry) finds every function already defined.
 # ----------------------------------------------------------------------
 from repro.kernels.array_backend import ArrayKernel  # noqa: E402
+from repro.kernels.batch import BatchSFPKernel  # noqa: E402
 from repro.kernels.reference import ReferenceKernel  # noqa: E402
 
 register_kernel(ReferenceKernel)
 register_kernel(ArrayKernel)
+register_kernel(BatchSFPKernel)
 
+from repro.kernels.sched_batch import BatchSchedulerKernel  # noqa: E402
 from repro.kernels.sched_flat import FlatSchedulerKernel  # noqa: E402
 from repro.kernels.sched_reference import ReferenceSchedulerKernel  # noqa: E402
 
 register_sched_kernel(ReferenceSchedulerKernel)
 register_sched_kernel(FlatSchedulerKernel)
+register_sched_kernel(BatchSchedulerKernel)

@@ -1,0 +1,63 @@
+"""Batch scheduler kernel — flat-table replay of whole neighbourhoods.
+
+The flat backend already amortizes the expensive static work: the compiled
+application tables are cached per (structure, profile) identity and the
+mapping-derived tables in a *one-slot* memo.  That one slot is exactly wrong
+for batched neighbourhoods whose rows interleave several mappings (the tabu
+move generator emits one candidate mapping per row): every row evicts the
+previous row's tables.
+
+This backend implements the batched contract
+(:meth:`~repro.kernels.sched_base.SchedulerKernel.batch_schedule`) by
+replaying the flat per-row construction — bit-identical by inheritance — in
+the caller's row order while *widening the mapping memo to the whole batch*:
+mapping tables built for one row are re-installed whenever a later row uses
+the same mapping (same identity and mutation version; the flat guard re-checks
+the node-name order).  The compiled application tables are naturally shared
+across the block.  Row order is preserved, so the bus object ends the batch
+holding the last row's reservations exactly as the scalar loop would.
+
+Priority 5 keeps ``auto`` selection on the ``flat`` backend; batching is
+opt-in by name (``--sched-kernel batch`` / ``REPRO_SCHED_KERNEL=batch``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernels.sched_base import SchedulingProblem
+from repro.kernels.sched_flat import FlatSchedulerKernel
+
+if False:  # pragma: no cover - import cycle guard (typing only)
+    from repro.scheduling.schedule import Schedule
+
+
+class BatchSchedulerKernel(FlatSchedulerKernel):
+    """Flat-table replay of a neighbourhood with a batch-wide mapping memo."""
+
+    name = "batch"
+    description = (
+        "flat-table replay of whole neighbourhoods with a batch-wide "
+        "mapping-table memo"
+    )
+    priority = 5
+    supports_batch = True
+
+    def batch_schedule(
+        self, problems: List[SchedulingProblem]
+    ) -> List["Schedule"]:
+        schedules: List["Schedule"] = []
+        # Harvested one-slot memos per (mapping identity, mutation version);
+        # the problems list keeps every mapping alive, so ids are stable for
+        # the duration of the batch.
+        harvested: Dict[Tuple[int, int], Optional[Tuple]] = {}
+        for problem in problems:
+            mapping = problem.mapping
+            memo = harvested.get((id(mapping), mapping.version))
+            if memo is not None:
+                self._mapping_memo = memo
+            schedules.append(self.build_schedule(problem))
+            memo = self._mapping_memo
+            if memo is not None and memo[1] is mapping:
+                harvested[(id(mapping), memo[2])] = memo
+        return schedules

@@ -291,6 +291,18 @@ class FlatSchedulerKernel(SchedulerKernel):
             slot_length = bus.slot_length
             round_length = bus.round_length
             slot_index = {node: i for i, node in enumerate(bus.slot_order)}
+            # Slot-indexed free-list: per slot, the granted windows sorted by
+            # start time.  Every TDMA window lies inside one occurrence of
+            # its sender's slot and distinct slots never share an instant
+            # beyond boundary points, so a candidate can only ever conflict
+            # with same-slot reservations — the gap search scans one short
+            # sorted list (bisect + walk) instead of every bus reservation.
+            slot_starts: List[List[float]] = [[] for _ in slot_index]
+            slot_finishes: List[List[float]] = [[] for _ in slot_index]
+            # The bisect walk needs the per-slot intervals pairwise disjoint,
+            # which positive durations guarantee; the first zero-duration
+            # grant in a slot drops that slot back to the full conflict scan.
+            slot_clean: List[bool] = [True] * len(slot_index)
 
         # The output entries are frozen dataclasses whose generated __init__
         # assigns every field through object.__setattr__; handing __new__
@@ -322,10 +334,17 @@ class FlatSchedulerKernel(SchedulerKernel):
                         continue
                     sender = node_names[pn]
                     if tdma:
+                        slot = slot_index.get(sender)
+                        if slot is None:
+                            raise SchedulingError(
+                                f"Node {sender} owns no TDMA slot; slot order "
+                                f"is {bus.slot_order}"
+                            )
                         window = self._tdma_window(
-                            sender, ready, duration,
-                            res_start, res_finish,
-                            slot_index, slot_length, round_length, bus,
+                            ready, duration,
+                            slot_starts[slot], slot_finishes[slot],
+                            slot_clean[slot],
+                            slot, slot_length, round_length,
                         )
                     else:
                         # SimpleBus._earliest_gap over the flat arrays.  A
@@ -348,6 +367,12 @@ class FlatSchedulerKernel(SchedulerKernel):
                     window_finish = window + duration
                     if window_finish == window:
                         finish_sorted = False
+                    if tdma:
+                        at_slot = bisect_right(slot_starts[slot], window)
+                        slot_starts[slot].insert(at_slot, window)
+                        slot_finishes[slot].insert(at_slot, window_finish)
+                        if window_finish == window:
+                            slot_clean[slot] = False
                     at = bisect_right(res_start, window)
                     res_start.insert(at, window)
                     res_finish.insert(at, window_finish)
@@ -431,33 +456,38 @@ class FlatSchedulerKernel(SchedulerKernel):
     # ------------------------------------------------------------------
     @staticmethod
     def _tdma_window(
-        sender: str,
         earliest_start: float,
         duration: float,
-        res_start: List[float],
-        res_finish: List[float],
-        slot_index: Dict[str, int],
+        starts: List[float],
+        finishes: List[float],
+        clean: bool,
+        slot: int,
         slot_length: float,
         round_length: float,
-        bus: TDMABus,
     ) -> float:
-        """``TDMABus._find_window`` over the flat reservation arrays."""
+        """``TDMABus._find_window`` over the sender's slot free-list.
+
+        ``starts``/``finishes`` are the sender slot's granted windows sorted
+        by start.  With pairwise-disjoint intervals (``clean``) the conflict
+        resolution is a bisect into the finish array plus a forward walk —
+        the walk visits exactly the contiguous run of conflicting windows the
+        reference ``max(blocking)`` bump would jump over, one finish float at
+        a time, so the resulting candidate is the identical float.  A slot
+        polluted by zero-duration grants (nested intervals possible) keeps
+        the reference full scan, restricted to the slot — cross-slot windows
+        can never satisfy the strict-overlap predicate.
+        """
         if duration > slot_length:
             raise SchedulingError(
                 f"Message of duration {duration} ms does not fit into a TDMA slot "
                 f"of {slot_length} ms"
             )
-        slot = slot_index.get(sender)
-        if slot is None:
-            raise SchedulingError(
-                f"Node {sender} owns no TDMA slot; slot order is {bus.slot_order}"
-            )
-        total = len(res_start)
+        total = len(starts)
 
         def conflicts(candidate: float) -> bool:
             limit = candidate + duration
             for k in range(total):
-                if candidate < res_finish[k] and res_start[k] < limit:
+                if candidate < finishes[k] and starts[k] < limit:
                     return True
             return False
 
@@ -466,18 +496,30 @@ class FlatSchedulerKernel(SchedulerKernel):
             slot_start = round_number * round_length + slot * slot_length
             slot_end = slot_start + slot_length
             candidate = max(slot_start, earliest_start)
-            while candidate + duration <= slot_end and conflicts(candidate):
-                blocking = [
-                    res_finish[k]
-                    for k in range(total)
-                    if candidate < res_finish[k]
-                    and res_start[k] < candidate + duration
-                ]
-                candidate = max(blocking)
-            if candidate + duration <= slot_end and not conflicts(candidate):
-                return candidate
+            if clean:
+                k = bisect_right(finishes, candidate)
+                while (
+                    candidate + duration <= slot_end
+                    and k < total
+                    and starts[k] < candidate + duration
+                ):
+                    candidate = finishes[k]
+                    k += 1
+                if candidate + duration <= slot_end:
+                    return candidate
+            else:
+                while candidate + duration <= slot_end and conflicts(candidate):
+                    blocking = [
+                        finishes[k]
+                        for k in range(total)
+                        if candidate < finishes[k]
+                        and starts[k] < candidate + duration
+                    ]
+                    candidate = max(blocking)
+                if candidate + duration <= slot_end and not conflicts(candidate):
+                    return candidate
             round_number += 1
         raise SchedulingError(
-            f"Could not find a TDMA window for {sender} "
+            f"Could not find a TDMA window in slot {slot} "
             f"(duration {duration} ms after t={earliest_start} ms)"
         )  # pragma: no cover - defensive, loop bound is effectively unreachable

@@ -209,9 +209,16 @@ class Project:
         return f"{target}.{rest}" if rest else target
 
     def resolve_base_class(self, module: LintModule, base: str) -> Optional[ClassInfo]:
-        """Resolve a base-class expression to a project class, if any."""
+        """Resolve a base-class expression to a project class, if any.
+
+        Checks the module's import bindings first, then the module's own
+        namespace (a base defined in the same file is written unqualified).
+        """
         resolved = self.resolve_dotted(module, base)
-        return self.classes.get(resolved)
+        found = self.classes.get(resolved)
+        if found is None:
+            found = self.classes.get(f"{module.name}.{resolved}")
+        return found
 
     def resolve_call(
         self,

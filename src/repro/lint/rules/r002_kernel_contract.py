@@ -8,16 +8,26 @@ happens to see and still diverge in production.  And because backend
 computation may import the kernels package: a key that observes the selected
 kernel would fragment the warm store by speed knob.
 
-Checks, per class subclassing a family base (``SFPKernel`` /
-``SchedulerKernel``):
+Checks, per class deriving (directly or transitively — stacked backends
+like ``array`` → ``batch`` inherit the contract along with the code) from a
+family base (``SFPKernel`` / ``SchedulerKernel``):
 
 * every abstract method of the base (body = ``raise NotImplementedError``)
-  is overridden;
-* the override's signature matches the base declaration exactly — same
+  is implemented somewhere along the inheritance chain; defects of an
+  override (still abstract, drifted signature) are reported once, on the
+  class that wrote it, not on every descendant that inherits it;
+* an override's signature matches the base declaration exactly — same
   argument names, order, defaults, and the same varargs/kwargs shape
   (annotations are mypy's job, not this rule's);
+* the *batch* contract methods (``batch_probability_exceeds`` /
+  ``batch_schedule``) have a total scalar fallback in the base, so they are
+  not abstract — but any override must still match the base signature
+  exactly and stay implemented, and a backend declaring
+  ``supports_batch = True`` must actually provide (or inherit) a
+  specialized override rather than the inherited scalar fallback;
 * the registry attributes ``name`` (non-empty), ``description`` and
-  ``priority`` are declared on the class;
+  ``priority`` are declared on the class itself — stacked backends are
+  distinct registry entries and must not alias a parent's identity;
 * no class-level assignment binds a mutable container (list/dict/set) —
   per-instance buffers belong in ``__init__``, shared class state breaks the
   one-registry-per-process isolation the parallel sweep relies on.
@@ -29,7 +39,7 @@ the module's runtime import closure must not contain ``repro.kernels``.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.model import Violation
 from repro.lint.project import ClassInfo, FunctionNode, LintModule, Project
@@ -43,6 +53,13 @@ FAMILY_BASES: Tuple[str, ...] = (
 
 #: Class attributes every registered backend must declare.
 REQUIRED_CLASS_ATTRS: Tuple[str, ...] = ("name", "description", "priority")
+
+#: Non-abstract batch entry point per family base: total scalar fallback in
+#: the base, exact-signature override required of vectorizing backends.
+BATCH_CONTRACT_METHODS: Dict[str, str] = {
+    "repro.kernels.base.SFPKernel": "batch_probability_exceeds",
+    "repro.kernels.sched_base.SchedulerKernel": "batch_schedule",
+}
 
 #: Modules computing cache keys; their import closure must avoid kernels.
 CACHE_KEY_MODULES: Tuple[str, ...] = (
@@ -87,7 +104,9 @@ class KernelContractRule(LintRule):
     ) -> Iterator[Violation]:
         module = project.modules[subclass.module]
         for method_name in abstract:
-            implementation = subclass.methods.get(method_name)
+            owner, implementation = _resolve_method(
+                project, subclass, base, method_name
+            )
             if implementation is None:
                 yield self._violation(
                     module,
@@ -96,6 +115,10 @@ class KernelContractRule(LintRule):
                     f"backend {subclass.name} does not implement abstract "
                     f"method {method_name}() of {base.name}",
                 )
+                continue
+            if owner is not subclass:
+                # Inherited from an intermediate backend; any defect of that
+                # override is reported once, on the class that wrote it.
                 continue
             if _still_abstract(implementation.node):
                 yield self._violation(
@@ -117,8 +140,60 @@ class KernelContractRule(LintRule):
                     f"backend {subclass.name}.{method_name}() signature "
                     f"drifts from {base.name}: {mismatch}",
                 )
+        yield from self._check_batch_contract(project, module, subclass, base)
         yield from self._check_class_attrs(module, subclass)
         yield from self._check_mutable_state(module, subclass)
+
+    def _check_batch_contract(
+        self,
+        project: Project,
+        module: LintModule,
+        subclass: ClassInfo,
+        base: ClassInfo,
+    ) -> Iterator[Violation]:
+        batch_name = BATCH_CONTRACT_METHODS.get(base.qualname)
+        if batch_name is None or batch_name not in base.methods:
+            return
+        override = subclass.methods.get(batch_name)
+        if override is not None:
+            if _still_abstract(override.node):
+                yield self._violation(
+                    module,
+                    subclass,
+                    override.node,
+                    f"backend {subclass.name}.{batch_name}() raises "
+                    f"NotImplementedError — the batch contract is total; "
+                    f"inherit the scalar fallback instead of disabling it",
+                )
+            else:
+                mismatch = _signature_mismatch(
+                    base.methods[batch_name].node, override.node
+                )
+                if mismatch is not None:
+                    yield self._violation(
+                        module,
+                        subclass,
+                        override.node,
+                        f"backend {subclass.name}.{batch_name}() signature "
+                        f"drifts from {base.name}: {mismatch}",
+                    )
+        declared = _class_level_assignments(subclass.node).get("supports_batch")
+        if (
+            isinstance(declared, ast.Constant)
+            and declared.value is True
+        ):
+            owner, implementation = _resolve_method(
+                project, subclass, base, batch_name
+            )
+            if implementation is None:
+                yield self._violation(
+                    module,
+                    subclass,
+                    subclass.node,
+                    f"backend {subclass.name} declares supports_batch = True "
+                    f"but inherits the scalar fallback {batch_name}() — a "
+                    f"vectorizing backend must override it",
+                )
 
     def _check_class_attrs(
         self, module: LintModule, subclass: ClassInfo
@@ -204,18 +279,68 @@ class KernelContractRule(LintRule):
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+def _resolved_bases(project: Project, class_info: ClassInfo) -> List[ClassInfo]:
+    """The written base classes that resolve to project classes, in order."""
+    module = project.modules[class_info.module]
+    resolved = (
+        project.resolve_base_class(module, written)
+        for written in class_info.bases
+    )
+    return [base for base in resolved if base is not None]
+
+
+def _derives_from(
+    project: Project, class_info: ClassInfo, base: ClassInfo, seen: Set[str]
+) -> bool:
+    """Does ``class_info`` reach ``base`` through any chain of bases?"""
+    if class_info.qualname in seen:
+        return False
+    seen.add(class_info.qualname)
+    for parent in _resolved_bases(project, class_info):
+        if parent is base or _derives_from(project, parent, base, seen):
+            return True
+    return False
+
+
 def _subclasses_of(project: Project, base: ClassInfo) -> List[ClassInfo]:
-    result: List[ClassInfo] = []
-    for module in project.modules.values():
-        for class_info in module.classes.values():
-            if class_info is base:
-                continue
-            for written_base in class_info.bases:
-                resolved = project.resolve_base_class(module, written_base)
-                if resolved is base:
-                    result.append(class_info)
-                    break
+    """All project classes deriving from ``base``, directly or transitively.
+
+    Stacked backends (``batch`` on top of ``array`` on top of ``reference``)
+    inherit the family contract through intermediate classes, so a
+    direct-bases-only scan would silently exempt exactly the backends most
+    likely to drift.
+    """
+    result = [
+        class_info
+        for module in project.modules.values()
+        for class_info in module.classes.values()
+        if class_info is not base and _derives_from(project, class_info, base, set())
+    ]
     return sorted(result, key=lambda info: info.qualname)
+
+
+def _resolve_method(
+    project: Project, class_info: ClassInfo, base: ClassInfo, method_name: str
+) -> Tuple[Optional[ClassInfo], Optional[FunctionInfo]]:
+    """Nearest definition of ``method_name`` below ``base``.
+
+    Walks the inheritance chain breadth-first from ``class_info`` (written
+    base order, cycle-guarded) and stops before the family base, so the
+    base's own abstract declaration or scalar fallback never counts as an
+    implementation.  Returns ``(owner, method)`` or ``(None, None)``.
+    """
+    queue: List[ClassInfo] = [class_info]
+    seen: Set[str] = set()
+    while queue:
+        current = queue.pop(0)
+        if current is base or current.qualname in seen:
+            continue
+        seen.add(current.qualname)
+        method = current.methods.get(method_name)
+        if method is not None:
+            return current, method
+        queue.extend(_resolved_bases(project, current))
+    return None, None
 
 
 def _abstract_methods(base: ClassInfo) -> List[str]:

@@ -61,6 +61,40 @@ def test_rendered_golden_output_identical(serial, parallel):
     )
 
 
+def test_batch_kernels_parallel_sweep_identical(serial, monkeypatch):
+    """The batched kernel pair under ``n_jobs=2`` reproduces the default
+    serial results bit for bit — batching and worker processes are both
+    implementation details.  Selection goes through the environment so
+    spawned workers resolve the same backends as the parent."""
+    monkeypatch.setenv("REPRO_SFP_KERNEL", "batch")
+    monkeypatch.setenv("REPRO_SCHED_KERNEL", "batch")
+    batched = _run(n_jobs=2)
+    assert batched[0] == serial[0]
+    for setting_batched, setting_serial in zip(batched[1], serial[1]):
+        assert setting_batched.results == setting_serial.results
+    # The batched run actually batched: rows flowed through the partitioned
+    # lookups and a nonzero residual reached the batch kernels.
+    summary_totals = [setting.cache_summary() for setting in batched[1]]
+    assert sum(summary["batch_rows"] for summary in summary_totals) > 0
+    assert sum(summary["batch_cold_rows"] for summary in summary_totals) > 0
+    # Search effort and computed points are caching/batching-invariant.
+    for setting_batched, setting_serial in zip(batched[1], serial[1]):
+        batched_summary = setting_batched.cache_summary()
+        serial_summary = setting_serial.cache_summary()
+        assert (
+            batched_summary["search_evaluations"]
+            == serial_summary["search_evaluations"]
+        )
+        assert (
+            batched_summary["points_computed"]
+            == serial_summary["points_computed"]
+        )
+        # The partitioned lookups issue the same key sequence the scalar
+        # path issues, so even the hit/miss totals line up exactly.
+        assert batched_summary["hits"] == serial_summary["hits"]
+        assert batched_summary["misses"] == serial_summary["misses"]
+
+
 def test_parallel_run_with_store_stays_identical(tmp_path, serial):
     """The persistent store must not perturb parallel results either; a
     second warm parallel run must hit the disk cache and still agree."""
