@@ -83,6 +83,37 @@ def _run_sweep(
     }
 
 
+#: Size/seed of the synthetic-random family run benchmarked below: large
+#: enough that the DSE neighbourhood batching sees multi-row blocks, small
+#: enough to stay a smoke-scale addition to the run.
+SYNTHETIC_RANDOM_PROCESSES = 60
+SYNTHETIC_RANDOM_SEED = 7
+
+
+def _run_synthetic_random(
+    sfp_kernel: str,
+    sched_kernel: Optional[str] = None,
+    store_dir=None,
+) -> dict:
+    """One ``synthetic-random`` family run (fast preset, fixed size/seed)."""
+    config = api.RunConfig(
+        sfp_kernel=sfp_kernel,
+        sched_kernel=sched_kernel,
+        cache_dir=store_dir,
+        scenario_params={
+            "n_processes": SYNTHETIC_RANDOM_PROCESSES,
+            "seed": SYNTHETIC_RANDOM_SEED,
+        },
+    )
+    report = api.run("synthetic-random", config)
+    return {
+        "wall_clock_seconds": round(report.timings["wall_clock_seconds"], 3),
+        "cache": report.cache,
+        "strategies": report.results["strategies"],
+        "kernels": report.kernels,
+    }
+
+
 def _microbench(kernel_name: str) -> dict:
     """Raw primitive throughput (µs/op) outside the engine's memo tables."""
     kernel = get_kernel(kernel_name)
@@ -267,6 +298,26 @@ def main() -> int:
             "wall_clock_seconds"
         ]
 
+    # Parameterized synthetic-random family: one cold run on the batched
+    # pair against a throwaway store (everything is computed, so the history
+    # tracks the family's end-to-end cost and its batch fill rate), gated
+    # bit-for-bit against the reference pair.
+    synthetic_random = None
+    if "batch" in names and "batch" in sched_names:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-random-") as store_dir:
+            synthetic_random = _run_synthetic_random(
+                "batch", sched_kernel="batch", store_dir=Path(store_dir)
+            )
+        random_reference = _run_synthetic_random("reference", sched_kernel="reference")
+        if synthetic_random["strategies"] != random_reference["strategies"]:
+            errors.append(
+                "synthetic-random batch+batch design output diverged from reference"
+            )
+        if synthetic_random["cache"]["batch_cold_rows"] < 2:
+            errors.append(
+                "cold synthetic-random run saw no multi-row cold batch blocks"
+            )
+
     # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
         cold = _run_sweep(arguments.preset, names[0], store_dir=Path(store_dir))
@@ -300,6 +351,8 @@ def main() -> int:
     }
     if batch_pair is not None:
         payload["batch_pair"] = batch_pair
+    if synthetic_random is not None:
+        payload["synthetic_random"] = synthetic_random
     arguments.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     pairs = {
@@ -315,6 +368,8 @@ def main() -> int:
                 "cold_store_wall_clock_seconds"
             ],
         )
+    if synthetic_random is not None:
+        pairs["synthetic-random-cold:batch+batch"] = _pair_entry(synthetic_random)
     history_record = {
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"

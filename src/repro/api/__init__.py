@@ -23,6 +23,7 @@ from typing import Optional
 from repro.api.config import DEFAULT_CACHE_SIZE_MB, PRESETS, RunConfig
 from repro.api.registry import (
     ScenarioOutcome,
+    ScenarioParam,
     ScenarioSpec,
     get_scenario,
     list_scenarios,
@@ -31,8 +32,10 @@ from repro.api.registry import (
 from repro.api.report import REPORT_SCHEMA_VERSION, RunReport
 from repro.api.session import Session
 
-# Importing the module registers the built-in scenarios.
+# Importing the modules registers the built-in scenarios and the
+# parameterized scenario families.
 import repro.api.scenarios  # noqa: F401,E402  (registration side effect)
+import repro.api.scenarios_synthetic  # noqa: F401,E402  (registration side effect)
 
 
 def run(scenario_id: str, config: Optional[RunConfig] = None) -> RunReport:
@@ -56,6 +59,7 @@ __all__ = [
     "RunConfig",
     "RunReport",
     "ScenarioOutcome",
+    "ScenarioParam",
     "ScenarioSpec",
     "Session",
     "get_scenario",

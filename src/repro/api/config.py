@@ -18,11 +18,19 @@ knob that also has an environment variable, the effective value is
 slots between 1 and 2 for backwards compatibility; new code should not use
 it.)  Kernel backends are bit-identical by contract, so this order is a
 speed knob only and never changes results.
+
+**Scenario parameters** resolve analogously but per scenario family
+(:meth:`repro.api.registry.ScenarioSpec.resolve_params`): an explicit entry
+in :attr:`RunConfig.scenario_params` (the CLI's ``--param key=value``)
+beats the parameter's declared default.  Unlike kernels these *are* answer
+knobs — two runs differing in ``scenario_params`` are different workloads —
+which is why the mapping is part of the frozen config and its lossless
+``to_dict``/``from_dict`` round-trip.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
@@ -68,6 +76,11 @@ class RunConfig:
     output:
         Optional path where :meth:`Session.run` writes the structured
         :class:`~repro.api.report.RunReport` as JSON.
+    scenario_params:
+        Per-run overrides for parameterized scenario families (the CLI's
+        ``--param key=value``).  Values may be CLI strings or native
+        scalars; they are validated against the scenario's declared schema
+        at run time (explicit override > declared default).
     """
 
     sfp_kernel: Optional[str] = None
@@ -78,6 +91,7 @@ class RunConfig:
     seed: Optional[int] = None
     preset: str = "fast"
     output: Optional[Path] = None
+    scenario_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for field_name in ("cache_dir", "output"):
@@ -92,6 +106,15 @@ class RunConfig:
             raise ModelError(f"jobs must be >= 0 (1 = serial, 0 = one per CPU), got {self.jobs}")
         if self.cache_size_mb < 1:
             raise ModelError(f"cache_size_mb must be >= 1, got {self.cache_size_mb}")
+        params = dict(self.scenario_params) if self.scenario_params else {}
+        for key, value in params.items():
+            if not isinstance(key, str) or not key:
+                raise ModelError(f"scenario_params keys must be non-empty strings, got {key!r}")
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise ModelError(
+                    f"scenario_params[{key!r}] must be a JSON-native scalar, got {value!r}"
+                )
+        object.__setattr__(self, "scenario_params", params)
 
     # ------------------------------------------------------------------
     # resolution
@@ -132,6 +155,7 @@ class RunConfig:
             "seed": self.seed,
             "preset": self.preset,
             "output": str(self.output) if self.output is not None else None,
+            "scenario_params": dict(self.scenario_params),
         }
 
     @classmethod

@@ -35,6 +35,9 @@ class RunReport:
     scenario: str
     config: RunConfig
     results: Dict[str, Any]
+    #: Fully resolved scenario parameters (overrides + declared defaults);
+    #: empty for scenarios without a parameter schema.
+    params: Dict[str, Any] = field(default_factory=dict)
     kernels: Dict[str, str] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
@@ -48,6 +51,7 @@ class RunReport:
             "scenario": self.scenario,
             "config": self.config.to_dict(),
             "results": self.results,
+            "params": dict(self.params),
             "kernels": dict(self.kernels),
             "cache": dict(self.cache),
             "timings": dict(self.timings),
@@ -69,6 +73,7 @@ class RunReport:
             scenario=data["scenario"],
             config=RunConfig.from_dict(data["config"]),
             results=data["results"],
+            params=dict(data.get("params", {})),
             kernels=dict(data.get("kernels", {})),
             cache=dict(data.get("cache", {})),
             timings=dict(data.get("timings", {})),

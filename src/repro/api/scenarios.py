@@ -17,7 +17,7 @@ round-trips losslessly.
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import TYPE_CHECKING, Dict, List, Mapping
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping
 
 from repro.api.registry import ScenarioOutcome, register_scenario
 from repro.core.fault_model import SER_MEDIUM
@@ -58,7 +58,7 @@ def _g_keyed(mapping: Mapping[float, object]) -> Dict[str, object]:
     ),
     figure="3/4/A.2",
 )
-def run_motivational(session: "Session") -> ScenarioOutcome:
+def run_motivational(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     fig3 = evaluate_fig3_alternatives()
     fig3_rows = [
         [
@@ -116,7 +116,7 @@ def run_motivational(session: "Session") -> ScenarioOutcome:
     description="MIN/MAX/OPT acceptance over the hardening performance degradation sweep",
     figure="6a",
 )
-def run_fig6a(session: "Session") -> ScenarioOutcome:
+def run_fig6a(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     sweep = figure_6a_hpd_sweep(session.experiment())
     payload = {
         "figure": "6a",
@@ -135,7 +135,7 @@ def run_fig6a(session: "Session") -> ScenarioOutcome:
     description="MIN/MAX/OPT acceptance per (HPD, maximum architectural cost) pair",
     figure="6b",
 )
-def run_fig6b(session: "Session") -> ScenarioOutcome:
+def run_fig6b(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     table = figure_6b_cost_table(session.experiment())
     payload = {
         "figure": "6b",
@@ -155,7 +155,7 @@ def run_fig6b(session: "Session") -> ScenarioOutcome:
     description="MIN/MAX/OPT acceptance over the soft-error-rate sweep at low HPD",
     figure="6c",
 )
-def run_fig6c(session: "Session") -> ScenarioOutcome:
+def run_fig6c(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     sweep = figure_6c_ser_sweep(session.experiment())
     payload = {
         "figure": "6c",
@@ -174,7 +174,7 @@ def run_fig6c(session: "Session") -> ScenarioOutcome:
     description="MIN/MAX/OPT acceptance over the soft-error-rate sweep at high HPD",
     figure="6d",
 )
-def run_fig6d(session: "Session") -> ScenarioOutcome:
+def run_fig6d(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     sweep = figure_6d_ser_sweep(session.experiment())
     payload = {
         "figure": "6d",
@@ -196,7 +196,7 @@ def run_fig6d(session: "Session") -> ScenarioOutcome:
     description="MIN/MAX/OPT on the fixed three-ECU architecture; OPT ~66% cheaper than MAX",
     figure="Section 7",
 )
-def run_cruise_control(session: "Session") -> ScenarioOutcome:
+def run_cruise_control(session: "Session", params: Dict[str, Any]) -> ScenarioOutcome:
     study = run_cruise_controller_study()
     rows = []
     for strategy, outcome in study.outcomes.items():

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from types import TracebackType
-from typing import ContextManager, Dict, Optional, Tuple
+from typing import ContextManager, Dict, Mapping, Optional, Tuple
 
 from repro.api.config import RunConfig
 from repro.api.registry import get_scenario
@@ -56,6 +56,19 @@ _EMPTY_CACHE_REPORT: Dict[str, float] = {
     "batch_fill_rate": 0.0,
 }
 
+#: Raw additive counters accepted by :meth:`Session.add_cache_counters`;
+#: derived rates (``hit_rate``, ``batch_fill_rate``) are recomputed on read.
+_ADDITIVE_CACHE_COUNTERS = (
+    "hits",
+    "misses",
+    "search_evaluations",
+    "points_computed",
+    "disk_hits",
+    "disk_entries_loaded",
+    "batch_rows",
+    "batch_cold_rows",
+)
+
 
 class Session:
     """Configured execution context for scenarios and ad-hoc evaluation.
@@ -71,6 +84,7 @@ class Session:
         self._experiment: Optional[AcceptanceExperiment] = None
         self._store: Optional[DesignPointStore] = None
         self._kernel_scope: Optional[_KernelScope] = None
+        self._scenario_counters: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # kernel scope
@@ -146,11 +160,35 @@ class Session:
             )
         return self._experiment
 
+    def add_cache_counters(self, counters: Mapping[str, float]) -> None:
+        """Accumulate engine counters from a scenario-owned engine.
+
+        Scenarios that run their own :class:`EvaluationEngine` (the
+        generator-backed families) rather than the shared experiment call
+        this so their cache/batch statistics still surface in the
+        :class:`~repro.api.report.RunReport`.  Only the raw additive
+        counters are accepted; derived rates are recomputed on read.
+        """
+        for key in _ADDITIVE_CACHE_COUNTERS:
+            value = counters.get(key)
+            if value:
+                self._scenario_counters[key] = self._scenario_counters.get(key, 0) + value
+
     def cache_report(self) -> Dict[str, float]:
-        """Aggregate engine counters (zeros when no experiment ran)."""
-        if self._experiment is None:
-            return dict(_EMPTY_CACHE_REPORT)
-        return self._experiment.cache_report()
+        """Aggregate engine counters over the experiment and scenario engines."""
+        report = (
+            dict(_EMPTY_CACHE_REPORT)
+            if self._experiment is None
+            else self._experiment.cache_report()
+        )
+        for key, value in self._scenario_counters.items():
+            report[key] = report.get(key, 0) + value
+        lookups = report["hits"] + report["misses"]
+        report["hit_rate"] = report["hits"] / lookups if lookups else 0.0
+        report["batch_fill_rate"] = (
+            report["batch_cold_rows"] / report["batch_rows"] if report["batch_rows"] else 0.0
+        )
+        return report
 
     # ------------------------------------------------------------------
     # scenario execution
@@ -164,18 +202,20 @@ class Session:
         CLI driver on top of it) persists the single report it produces.
         """
         spec = get_scenario(scenario_id)
+        params = spec.resolve_params(self.config.scenario_params)
         with self._scope():
             kernels = {
                 "sfp": SFP_KERNELS.active().name,
                 "sched": SCHED_KERNELS.active().name,
             }
             start = time.perf_counter()
-            outcome = spec.runner(self)
+            outcome = spec.runner(self, params)
             wall_clock = time.perf_counter() - start
         return RunReport(
             scenario=scenario_id,
             config=self.config,
             results=outcome.payload,
+            params=params,
             kernels=kernels,
             cache=self.cache_report(),
             timings={"wall_clock_seconds": wall_clock},

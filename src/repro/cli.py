@@ -28,7 +28,7 @@ import json
 import sys
 import warnings
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api import RunConfig, RunReport, Session, list_scenarios
 from repro.api import run as api_run
@@ -54,6 +54,17 @@ def _cache_size(value: str) -> int:
     if size < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1 (MiB), got {size}")
     return size
+
+
+def _scenario_param(value: str) -> Tuple[str, str]:
+    """Parse one ``--param key=value`` pair; validation happens at run time
+    against the scenario's declared schema."""
+    key, separator, raw = value.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {value!r} (e.g. --param n_processes=100)"
+        )
+    return key, raw
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -130,6 +141,7 @@ def _config_from_arguments(
         seed=getattr(arguments, "seed", None),
         preset=getattr(arguments, "preset", "fast"),
         output=output,
+        scenario_params=dict(getattr(arguments, "params", None) or []),
     )
 
 
@@ -181,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="optional path to write the structured RunReport as JSON",
+    )
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        type=_scenario_param,
+        dest="params",
+        default=None,
+        metavar="KEY=VALUE",
+        help=(
+            "override one scenario-family parameter (repeatable); values are "
+            "validated against the scenario's declared schema (see --list)"
+        ),
     )
     _add_config_arguments(run_parser)
     run_parser.set_defaults(handler=_run_scenario)
@@ -278,6 +302,9 @@ def _run_scenario(arguments: argparse.Namespace) -> int:
         for spec in list_scenarios():
             figure = f" [{spec.figure}]" if spec.figure else ""
             print(f"  {spec.scenario_id:<16} {spec.title}{figure}")
+            for param in spec.params:
+                description = f"  {param.description}" if param.description else ""
+                print(f"    --param {param.describe()}{description}")
         return 0
     if arguments.scenario is None:
         print("error: a scenario id is required (or --list)", file=sys.stderr)

@@ -16,6 +16,7 @@ applications.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from math import sqrt
 from typing import Iterable, Mapping, Optional
@@ -70,10 +71,26 @@ class FaultInjectionCampaign:
             raise ModelError(f"runs must be >= 1, got {runs}")
         self.runs = runs
         self._rng = np.random.default_rng(seed)
+        # Root entropy of the per-estimate child streams.  A seeded campaign
+        # derives it from the seed; an unseeded one draws fresh entropy once
+        # so its own estimates remain mutually independent.
+        self._entropy = np.random.SeedSequence(seed).entropy
 
     # ------------------------------------------------------------------
     def inject(self, processor: ProcessorModel, wcet_ms: float) -> InjectionResult:
-        """Estimate the failure probability of one execution of ``wcet_ms``."""
+        """Estimate the failure probability of one execution of ``wcet_ms``.
+
+        Draws from the campaign's shared stream: repeated ``inject`` calls on
+        one campaign are *sequential* (each depends on how many calls came
+        before).  :meth:`profile_application` instead derives an independent
+        child stream per estimate, so whole-application profiles do not
+        depend on iteration order.
+        """
+        return self._inject(self._rng, processor, wcet_ms)
+
+    def _inject(
+        self, rng: np.random.Generator, processor: ProcessorModel, wcet_ms: float
+    ) -> InjectionResult:
         require_positive(wcet_ms, "wcet_ms")
         per_cycle = processor.error_probability_per_cycle()
         cycles = processor.cycles_for(wcet_ms)
@@ -82,9 +99,25 @@ class FaultInjectionCampaign:
         # One binomial draw per simulated execution: the number of
         # program-visible error events over the cycle count.  The execution
         # fails as soon as at least one event occurred.
-        events = self._rng.binomial(cycles, per_cycle, size=self.runs)
+        events = rng.binomial(cycles, per_cycle, size=self.runs)
         failures = int(np.count_nonzero(events))
         return InjectionResult(runs=self.runs, failures=failures)
+
+    def _stream(self, process: str, node_type: str, level: int) -> np.random.Generator:
+        """Independent child stream for one (process, node_type, level) estimate.
+
+        ``SeedSequence.spawn`` appends a child index to the parent's
+        ``spawn_key``; deriving that key from the *identity* of the estimate
+        (instead of a running counter) gives the order-independent version of
+        spawning: reordering the node-type library, permuting processes or
+        adding hardening levels never perturbs any other estimate's stream.
+        """
+        digest = hashlib.sha256(
+            f"{process}\x00{node_type}\x00{level}".encode("utf-8")
+        ).digest()
+        spawn_key = int.from_bytes(digest[:8], "big")
+        child = np.random.SeedSequence(entropy=self._entropy, spawn_key=(spawn_key,))
+        return np.random.default_rng(child)
 
     # ------------------------------------------------------------------
     def profile_application(
@@ -108,7 +141,16 @@ class FaultInjectionCampaign:
         baseline_wcets:
             Optional per-process WCETs on the reference node; falls back to
             the processes' ``nominal_wcet``.
+
+        Every (process, node type, level) estimate draws from its own child
+        stream derived from the campaign seed and the estimate's identity
+        (see :meth:`_stream`), so the profile is independent of iteration
+        order: permuting the node-type library or adding a hardening level
+        never changes any other entry.
         """
+        # A generator argument would be exhausted after the first process,
+        # silently dropping every later process's entries — materialize once.
+        node_type_list = list(node_types)
         profile = ExecutionProfile()
         for process in application.processes():
             if baseline_wcets is not None and process.name in baseline_wcets:
@@ -120,7 +162,7 @@ class FaultInjectionCampaign:
                     f"Process {process.name} has no nominal WCET and no entry in "
                     "baseline_wcets"
                 )
-            for node_type in node_types:
+            for node_type in node_type_list:
                 if node_type.name not in processors:
                     raise ModelError(
                         f"No processor model supplied for node type {node_type.name}"
@@ -130,7 +172,8 @@ class FaultInjectionCampaign:
                     hardened = apply_selective_hardening(baseline_processor, plan, level)
                     slowdown = plan.spec(level).slowdown_factor
                     wcet = baseline * node_type.speed_factor * slowdown
-                    estimate = self.inject(hardened, wcet)
+                    rng = self._stream(process.name, node_type.name, level)
+                    estimate = self._inject(rng, hardened, wcet)
                     profile.add_entry(
                         process.name,
                         node_type.name,

@@ -58,6 +58,10 @@ class BenchmarkConfig:
     reference_node_count: int = 2
     extra_edge_probability: float = 0.2
     clock_mhz: float = 1000.0
+    #: Number of DAG layers; ``None`` defers to the generator's default
+    #: (roughly ``sqrt(n_processes)``).  Controls parallelism width: few
+    #: layers yield wide fork/join graphs, many layers yield long chains.
+    layers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -66,6 +70,8 @@ class BenchmarkConfig:
             raise ModelError("hardening_levels must be >= 1")
         if self.reference_node_count < 1:
             raise ModelError("reference_node_count must be >= 1")
+        if self.layers is not None and self.layers < 1:
+            raise ModelError(f"layers must be >= 1 when set, got {self.layers}")
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,7 @@ def generate_benchmark(
         rng=rng,
         wcet_range=config.wcet_range,
         message_time_range=config.message_time_range,
+        layers=config.layers,
         extra_edge_probability=config.extra_edge_probability,
     )
     deadline = _derive_deadline(graph, rng, config)

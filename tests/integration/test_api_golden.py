@@ -38,6 +38,17 @@ def test_api_fig6b_payload_equals_the_golden_fixture():
     assert report.results == _load("fig6b_fast.json")
 
 
+def test_synthetic_random_smoke_matches_the_golden_fixture():
+    # Kernel-independent determinism gate for the parameterized family: the
+    # full MIN/MAX/OPT exploration of one small generated application must
+    # reproduce the checked-in payload bit for bit.
+    report = api.run(
+        "synthetic-random",
+        api.RunConfig(preset="smoke", scenario_params={"n_processes": 10, "seed": 3}),
+    )
+    assert report.results == _load("synthetic_random_smoke.json")
+
+
 def test_legacy_cli_and_api_produce_identical_payloads(fig6a_report, tmp_path, capsys):
     output = tmp_path / "legacy_fig6a.json"
     with pytest.warns(DeprecationWarning):

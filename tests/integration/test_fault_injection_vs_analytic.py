@@ -51,6 +51,60 @@ class TestCampaignAgreesWithAnalyticModel:
         assert rates[0] > rates[2]
 
 
+class TestFaultInjectionScenario:
+    """The registered `fault-injection` family cross-validates MC vs. analytic."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro import api
+
+        return api.run(
+            "fault-injection",
+            api.RunConfig(scenario_params={"runs": 20_000, "seed": 2009}),
+        )
+
+    def test_every_estimate_agrees_with_the_analytic_model(self, report):
+        assert report.results["all_within_tolerance"] is True
+        entries = report.results["entries"]
+        assert len(entries) == 3 * 3  # three processes x three levels
+        for entry in entries:
+            assert entry["within_tolerance"] is True
+            # The tolerance itself must be meaningful: a few sigma in count
+            # space, not an everything-passes bound.
+            assert entry["tolerance_failures"] < 0.05 * report.params["runs"]
+
+    def test_rerun_with_identical_params_is_bit_identical(self, report):
+        from repro import api
+
+        again = api.run(
+            "fault-injection",
+            api.RunConfig(scenario_params={"runs": 20_000, "seed": 2009}),
+        )
+        assert again.results == report.results
+
+    def test_estimates_do_not_depend_on_hardening_ladder_size(self, report):
+        # Per-estimate child streams: running the same campaign with a taller
+        # hardening ladder must reproduce the shared levels exactly.
+        from repro import api
+
+        taller = api.run(
+            "fault-injection",
+            api.RunConfig(
+                scenario_params={"runs": 20_000, "seed": 2009, "hardening_levels": 4}
+            ),
+        )
+        # Levels are spaced differently in a 4-level linear plan, so only
+        # level 1 (always the unhardened baseline) is shared across ladders.
+        def level_one(results):
+            return {
+                (e["process"], e["level"]): e["monte_carlo"]
+                for e in results["entries"]
+                if e["level"] == 1
+            }
+
+        assert level_one(taller.results) == level_one(report.results)
+
+
 class TestInjectionDrivenDesignFlow:
     def test_injected_profile_supports_reexecution_optimization(self, processor):
         application = Application(

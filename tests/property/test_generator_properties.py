@@ -2,12 +2,42 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.generator.benchmark import BenchmarkConfig, build_platform, generate_benchmark
 from repro.generator.taskgraph import generate_task_graph
+
+
+def _benchmark_fingerprint(seed: int) -> Dict[str, Any]:
+    """Exhaustive structural fingerprint of one generated benchmark.
+
+    Module-level so the cross-process reproducibility test can ship it to a
+    worker via :class:`ProcessPoolExecutor`.
+    """
+    benchmark = generate_benchmark(
+        seed, config=BenchmarkConfig(n_processes=10, n_node_types=3)
+    )
+    application = benchmark.application
+    graph = application.graphs[0]
+    return {
+        "deadline": application.deadline,
+        "gamma": application.gamma,
+        "wcets": [p.nominal_wcet for p in application.processes()],
+        "recovery": [
+            application.recovery_overhead_of(p.name) for p in application.processes()
+        ],
+        "messages": sorted(
+            (m.source, m.destination, m.transmission_time) for m in graph.messages
+        ),
+        "node_specs": [
+            (s.name, s.base_cost, s.speed_factor) for s in benchmark.node_specs
+        ],
+    }
 
 
 class TestTaskGraphProperties:
@@ -66,6 +96,22 @@ class TestBenchmarkProperties:
                 ]
                 assert wcets == sorted(wcets)
                 assert failures == sorted(failures, reverse=True)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_is_bit_reproducible_in_process(self, seed):
+        # Full structural fingerprint (graph, WCETs, overheads, platform):
+        # repeated generation from one seed must be *bit*-identical, which is
+        # what makes scenario-family reports rerun-stable.
+        assert _benchmark_fingerprint(seed) == _benchmark_fingerprint(seed)
+
+    def test_same_seed_is_bit_reproducible_across_processes(self):
+        # The parallel sweep regenerates benchmarks in worker processes; the
+        # fingerprint must not depend on process state (hash randomization,
+        # import order).
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_benchmark_fingerprint, 123).result()
+        assert remote == _benchmark_fingerprint(123)
 
     @given(seeds)
     @settings(max_examples=15, deadline=None)

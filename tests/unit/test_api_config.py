@@ -122,3 +122,30 @@ class TestSerialization:
     def test_unknown_fields_rejected(self):
         with pytest.raises(ModelError, match="Unknown RunConfig fields"):
             RunConfig.from_dict({"preset": "fast", "warp": 9})
+
+
+class TestScenarioParams:
+    def test_default_is_an_empty_dict(self):
+        assert RunConfig().scenario_params == {}
+
+    def test_round_trip(self):
+        config = RunConfig(
+            scenario_params={"n_processes": 100, "seed": "7", "ratio": 0.25}
+        )
+        data = config.to_dict()
+        assert data["scenario_params"] == {"n_processes": 100, "seed": "7", "ratio": 0.25}
+        assert RunConfig.from_dict(data) == config
+
+    def test_mapping_is_normalized_to_a_plain_dict(self):
+        from collections import OrderedDict
+
+        config = RunConfig(scenario_params=OrderedDict(a=1))
+        assert type(config.scenario_params) is dict
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ModelError, match="non-empty strings"):
+            RunConfig(scenario_params={"": 1})
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(ModelError, match="JSON-native scalar"):
+            RunConfig(scenario_params={"grid": [1, 2, 3]})

@@ -48,7 +48,7 @@ class TestKernelScope:
         observed = {}
 
         @register_scenario("_probe-kernels", title="test probe")
-        def _probe(session):
+        def _probe(session, params):
             observed["sfp"] = active_kernel().name
             observed["sched"] = active_sched_kernel().name
             return ScenarioOutcome(payload={})

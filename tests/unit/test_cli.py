@@ -44,6 +44,26 @@ class TestParser:
         assert arguments.sched_kernel == "flat"
         assert arguments.seed == 9
 
+    def test_run_accepts_repeated_param_flags(self):
+        arguments = build_parser().parse_args(
+            ["run", "synthetic-random",
+             "--param", "n_processes=100", "--param", "seed=7"]
+        )
+        assert arguments.params == [("n_processes", "100"), ("seed", "7")]
+
+    def test_param_values_may_contain_equals_signs(self):
+        arguments = build_parser().parse_args(
+            ["run", "synthetic-random", "--param", "label=a=b"]
+        )
+        assert arguments.params == [("label", "a=b")]
+
+    def test_malformed_param_rejected_at_parse_time(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "synthetic-random", "--param", "n_processes"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "synthetic-random", "--param", "=5"])
+
 
 class TestRunCommand:
     def test_list_prints_all_scenarios(self, capsys):
@@ -53,6 +73,42 @@ class TestRunCommand:
         for scenario_id in ("fig6a", "fig6b", "fig6c", "fig6d",
                             "motivational", "cruise-control"):
             assert scenario_id in captured
+
+    def test_list_shows_parameter_schemas(self, capsys):
+        exit_code = main(["run", "--list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "--param n_processes:int=20 [1..2000]" in captured
+        assert "--param runs:int=20000" in captured
+
+    def test_param_overrides_reach_the_scenario(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        exit_code = main(
+            ["run", "synthetic-random", "--preset", "smoke", "--output", str(output),
+             "--param", "n_processes=8", "--param", "seed=3"]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["params"]["n_processes"] == 8
+        assert report["params"]["seed"] == 3
+        assert report["params"]["n_node_types"] == 4  # declared default
+        assert report["config"]["scenario_params"] == {"n_processes": "8", "seed": "3"}
+        assert report["results"]["benchmark"]["n_processes"] == 8
+
+    def test_invalid_param_value_is_a_clean_error(self, capsys):
+        exit_code = main(
+            ["run", "synthetic-random", "--param", "n_processes=zero"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "expects int" in captured.err
+
+    def test_param_on_parameterless_scenario_is_a_clean_error(self, capsys):
+        exit_code = main(["run", "fig6a", "--param", "n_processes=5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "accepts no parameters" in captured.err
 
     def test_missing_scenario_is_an_error(self, capsys):
         exit_code = main(["run"])

@@ -145,6 +145,22 @@ class TestBenchmarkGenerator:
         with pytest.raises(ModelError):
             generate_benchmark_suite(0)
 
+    def test_layers_knob_is_threaded_to_the_task_graph(self):
+        # layers=1 puts every process in one layer: no precedence edges at
+        # all; layers=n_processes forces a single chain with n-1 edges.
+        config = BenchmarkConfig(n_processes=12, layers=1, extra_edge_probability=0.0)
+        flat = generate_benchmark(seed=4, config=config)
+        assert len(flat.application.graphs[0].messages) == 0
+        chain_config = BenchmarkConfig(
+            n_processes=12, layers=12, extra_edge_probability=0.0
+        )
+        chain = generate_benchmark(seed=4, config=chain_config)
+        assert len(chain.application.graphs[0].messages) == 11
+
+    def test_invalid_layers_rejected(self):
+        with pytest.raises(ModelError, match="layers"):
+            BenchmarkConfig(layers=0)
+
     def test_node_types_materialisation(self):
         benchmark = generate_benchmark(seed=2)
         node_types = benchmark.node_types()

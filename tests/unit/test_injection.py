@@ -100,6 +100,77 @@ class TestProfileFromInjection:
         wcets = [profile.wcet("P1", "N1", level) for level in (1, 2, 3)]
         assert wcets == sorted(wcets)
 
+    def test_generator_node_types_argument_is_fully_consumed(self, processor):
+        # Regression: a generator argument used to be exhausted after the
+        # first process, silently dropping every later process's entries.
+        application = self._application()
+        node_types = [linear_cost_node_type("N1", 2.0, levels=3)]
+        plan = SelectiveHardeningPlan.linear(3, max_slowdown_percent=30.0)
+        campaign = FaultInjectionCampaign(runs=200, seed=1)
+        from_list = campaign.profile_application(
+            application, node_types, {"N1": processor}, plan
+        )
+        from_generator = FaultInjectionCampaign(runs=200, seed=1).profile_application(
+            application, (nt for nt in node_types), {"N1": processor}, plan
+        )
+        assert len(from_generator) == len(from_list) == 2 * 3
+        assert from_generator.entries() == from_list.entries()
+
+    def test_profile_is_independent_of_node_type_order(self, processor):
+        # Each (process, node type, level) estimate draws from its own child
+        # stream, so permuting the node-type library must not change any entry.
+        application = self._application()
+        a = linear_cost_node_type("A", 2.0, levels=2)
+        b = linear_cost_node_type("B", 3.0, levels=2, speed_factor=1.2)
+        models = {"A": processor, "B": processor.with_slowdown(1.1)}
+        plan = SelectiveHardeningPlan.linear(2, max_slowdown_percent=30.0)
+        forward = FaultInjectionCampaign(runs=300, seed=9).profile_application(
+            application, [a, b], models, plan
+        )
+        reversed_order = FaultInjectionCampaign(runs=300, seed=9).profile_application(
+            application, [b, a], models, plan
+        )
+        assert forward.entries() == reversed_order.entries()
+
+    def test_adding_a_hardening_level_does_not_perturb_existing_estimates(
+        self, processor
+    ):
+        application = self._application()
+        plan3 = SelectiveHardeningPlan.linear(3, max_slowdown_percent=30.0)
+        two_levels = FaultInjectionCampaign(runs=300, seed=5).profile_application(
+            application,
+            [linear_cost_node_type("N1", 2.0, levels=2)],
+            {"N1": processor},
+            plan3,
+        )
+        three_levels = FaultInjectionCampaign(runs=300, seed=5).profile_application(
+            application,
+            [linear_cost_node_type("N1", 2.0, levels=3)],
+            {"N1": processor},
+            plan3,
+        )
+        for process in ("P1", "P2"):
+            for level in (1, 2):
+                assert three_levels.failure_probability(
+                    process, "N1", level
+                ) == two_levels.failure_probability(process, "N1", level)
+
+    def test_sequential_inject_calls_do_not_perturb_profiles(self, processor):
+        # inject() draws from the campaign's shared sequential stream; the
+        # per-estimate child streams must be unaffected by it.
+        application = self._application()
+        node_types = [linear_cost_node_type("N1", 2.0, levels=2)]
+        plan = SelectiveHardeningPlan.linear(2)
+        clean = FaultInjectionCampaign(runs=200, seed=3).profile_application(
+            application, node_types, {"N1": processor}, plan
+        )
+        perturbed_campaign = FaultInjectionCampaign(runs=200, seed=3)
+        perturbed_campaign.inject(processor, 5.0)  # advances the shared stream
+        perturbed = perturbed_campaign.profile_application(
+            application, node_types, {"N1": processor}, plan
+        )
+        assert clean.entries() == perturbed.entries()
+
     def test_missing_processor_model_rejected(self, processor):
         application = self._application()
         node_types = [linear_cost_node_type("N1", 2.0, levels=2)]
