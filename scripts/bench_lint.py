@@ -1,0 +1,122 @@
+"""Benchmark the full ``repro.lint`` static pass (parse + all rules).
+
+Times ``Project.from_directory`` plus a complete ``run_lint`` over the real
+package — the same work ``repro-ftes lint`` does — and appends the median
+to the shared ``BENCH_history.jsonl`` series (reusing the history/gating
+helpers of ``bench_engine.py``).  The pair key names the rule set
+(``lint:R001-R008``), so records across rule-set growth never gate against
+each other; same-rule-set records do.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_lint.py
+    PYTHONPATH=src python scripts/bench_lint.py --jobs 4 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_engine import _append_history, _git_sha  # noqa: E402
+
+from repro.lint import run_lint  # noqa: E402
+from repro.lint.cli import default_package_dir  # noqa: E402
+from repro.lint.project import Project  # noqa: E402
+
+
+def time_full_pass(package_dir: Path, jobs: int, repeat: int) -> List[float]:
+    """Wall-clock seconds of ``repeat`` complete parse+lint passes."""
+    timings: List[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        project = Project.from_directory(package_dir, jobs=jobs)
+        report = run_lint(project)
+        timings.append(time.perf_counter() - start)
+        if report.checked_modules == 0:
+            raise SystemExit(f"no modules found under {package_dir}")
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel parse workers (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5, help="timed repetitions (median is recorded)"
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path("BENCH_history.jsonl"),
+        help="JSONL timing series to append to",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help=(
+            "fail when the median regresses more than this fraction against "
+            "the previous comparable entry (e.g. 0.25); default: record only"
+        ),
+    )
+    arguments = parser.parse_args()
+
+    package_dir = (
+        Path(arguments.root).resolve() if arguments.root else default_package_dir()
+    )
+    timings = time_full_pass(package_dir, arguments.jobs, arguments.repeat)
+    median = statistics.median(timings)
+
+    project = Project.from_directory(package_dir, jobs=arguments.jobs)
+    report = run_lint(project)
+    rule_span = f"{report.rule_ids[0]}-{report.rule_ids[-1]}"
+
+    record = {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
+        "benchmark": "lint_full_pass",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "source": "ci" if os.environ.get("GITHUB_ACTIONS") else "local",
+        "pairs": {
+            f"lint:{rule_span}": {
+                "wall_clock_seconds": round(median, 3),
+                "checked_modules": report.checked_modules,
+                "jobs": arguments.jobs,
+            }
+        },
+    }
+    errors = _append_history(arguments.history, record, arguments.max_regression)
+
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print(f"\ntimings: {[round(t, 3) for t in timings]} (median {median:.3f} s)")
+    print(f"history entry appended to {arguments.history}")
+    for error in errors:
+        print(f"ERROR: {error}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

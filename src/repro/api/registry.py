@@ -83,6 +83,16 @@ class ScenarioOutcome:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "payload", canonicalize_payload(self.payload))
+        # Runtime determinism sanitizer hook (R008): when active, verify the
+        # canonicalized payload is fully JSON-native — values the
+        # canonicalizer passes through verbatim (Decimal, Path, set, bytes)
+        # are exactly the defects it records.  Lazy import: repro.lint is
+        # never loaded on the hot path unless the sanitizer is enabled.
+        from repro.lint.sanitizer import active_sanitizer
+
+        sanitizer = active_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_payload(self.payload, "ScenarioOutcome.payload")
 
 
 #: Accepted ``ScenarioParam.type`` names and their coercions.

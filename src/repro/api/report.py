@@ -13,13 +13,37 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Iterator, Mapping, Tuple
 
 from repro.api.config import RunConfig
 from repro.core.exceptions import ModelError
 
 #: Bump when the serialized report layout changes incompatibly.
 REPORT_SCHEMA_VERSION = 1
+
+
+def iter_non_json_native(value: Any, path: str = "$") -> Iterator[Tuple[str, Any]]:
+    """Yield ``(path, leaf)`` for every value ``json.dumps`` would reject.
+
+    The walk mirrors what :meth:`RunReport.to_json` will attempt: dicts need
+    string keys, containers recurse, and every leaf must be one of the
+    JSON-native scalars (``str``/``int``/``float``/``bool``/``None``).  The
+    runtime determinism sanitizer (R008) and tests use this to locate the
+    exact offending value instead of parsing a ``TypeError`` message.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, dict):
+        for key, child in value.items():
+            if not isinstance(key, str):
+                yield f"{path}.<key {key!r}>", key
+            yield from iter_non_json_native(child, f"{path}.{key}")
+        return
+    if isinstance(value, list):
+        for index, child in enumerate(value):
+            yield from iter_non_json_native(child, f"{path}[{index}]")
+        return
+    yield path, value
 
 
 @dataclass(frozen=True)

@@ -211,7 +211,7 @@ class Session:
             start = time.perf_counter()
             outcome = spec.runner(self, params)
             wall_clock = time.perf_counter() - start
-        return RunReport(
+        report = RunReport(
             scenario=scenario_id,
             config=self.config,
             results=outcome.payload,
@@ -221,3 +221,21 @@ class Session:
             timings={"wall_clock_seconds": wall_clock},
             text=outcome.text,
         )
+        # Runtime determinism sanitizer hook (R008): when active, walk the
+        # assembled report's JSON-facing fields before any consumer calls
+        # to_json.  Lazy import keeps repro.lint off unsanitized runs.
+        from repro.lint.sanitizer import active_sanitizer
+
+        sanitizer = active_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_report(
+                {
+                    "results": report.results,
+                    "params": report.params,
+                    "kernels": report.kernels,
+                    "cache": report.cache,
+                    "timings": report.timings,
+                },
+                scenario_id,
+            )
+        return report

@@ -28,7 +28,10 @@ import json
 import sys
 import warnings
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.sanitizer import DeterminismSanitizer
 
 from repro.api import RunConfig, RunReport, Session, list_scenarios
 from repro.api import run as api_run
@@ -206,6 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
             "validated against the scenario's declared schema (see --list)"
         ),
     )
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run under the runtime determinism sanitizer (also enabled by "
+            "REPRO_SANITIZE=1): records unseeded RNG use, unpicklable pool "
+            "submissions, cross-process mutation, and non-JSON payload "
+            "values; violations go to stderr and exit code 3"
+        ),
+    )
     _add_config_arguments(run_parser)
     run_parser.set_defaults(handler=_run_scenario)
 
@@ -310,8 +323,13 @@ def _run_scenario(arguments: argparse.Namespace) -> int:
         print("error: a scenario id is required (or --list)", file=sys.stderr)
         return 2
     config = _config_from_arguments(arguments, output=arguments.output)
+    sanitizer = _maybe_sanitizer(arguments)
     try:
-        report = api_run(arguments.scenario, config)
+        if sanitizer is not None:
+            with sanitizer:
+                report = api_run(arguments.scenario, config)
+        else:
+            report = api_run(arguments.scenario, config)
     except ModelError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -324,7 +342,38 @@ def _run_scenario(arguments: argparse.Namespace) -> int:
     )
     if arguments.output is not None:
         print(f"report written to {arguments.output}")
+    if sanitizer is not None:
+        from repro.lint.sanitizer import print_report
+
+        print_report(sanitizer)
+        if sanitizer.violations:
+            return 3
     return 0
+
+
+def _maybe_sanitizer(
+    arguments: argparse.Namespace,
+) -> Optional["DeterminismSanitizer"]:
+    """A fresh :class:`DeterminismSanitizer` when requested, else ``None``.
+
+    Deliberately *not* a :class:`RunConfig` field: the sanitizer is an
+    observer, not an experiment parameter, and keeping it out of the config
+    preserves the lossless config round-trip in report JSON and goldens.
+    """
+    import os
+
+    from repro.lint.sanitizer import (
+        SANITIZE_ENV,
+        DeterminismSanitizer,
+        env_requests_sanitizer,
+    )
+
+    if getattr(arguments, "sanitize", False) or env_requests_sanitizer():
+        # Export the env opt-in so pool workers (fresh processes) install
+        # their own child-side sanitizer in _init_worker.
+        os.environ.setdefault(SANITIZE_ENV, "1")
+        return DeterminismSanitizer()
+    return None
 
 
 # ----------------------------------------------------------------------

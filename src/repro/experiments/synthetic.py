@@ -267,6 +267,29 @@ def _init_worker(
     _WORKER_STATE["strategies"] = strategies
     _WORKER_STATE["store_dir"] = store_dir
     _WORKER_STATE["store_max_bytes"] = store_max_bytes
+    _maybe_install_worker_sanitizer()
+
+
+def _maybe_install_worker_sanitizer() -> None:
+    """Install a child-side determinism sanitizer under ``REPRO_SANITIZE``.
+
+    The parent's sanitizer state does not survive the pool boundary (each
+    worker is a fresh process), so workers install their own: cross-process
+    mutation of guarded objects (R007) is detected where it happens and
+    surfaced on the shared stderr.  The environment variable — not a task
+    argument — is the opt-in channel because ``fork``-started workers
+    inherit it for free and task tuples stay scalar.
+    """
+    from repro.lint.sanitizer import (
+        DeterminismSanitizer,
+        active_sanitizer,
+        env_requests_sanitizer,
+    )
+
+    # fork-started workers inherit the parent's installed sanitizer
+    # (patches and all); only spawn-started workers need a fresh one.
+    if env_requests_sanitizer() and active_sanitizer() is None:
+        DeterminismSanitizer().install()
 
 
 def _evaluate_indexed_setting(

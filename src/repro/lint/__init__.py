@@ -13,13 +13,26 @@ R002      kernel-contract conformance — backends implement the full
           state; cache-key modules never import ``repro.kernels``
 R003      structure-token safety — guarded containers mutate only inside
           the token-bumping construction API
-R004      seeded-RNG-only — no interpreter-global random state
+R004      seeded-RNG-only — no interpreter-global random state, and the
+          allowed constructors are themselves seeded
 R005      no ``Decimal``/``float`` mixing in the SFP rounding chains
+R006      fork/pickle safety — everything crossing a process-pool
+          boundary is transitively picklable by type
+R007      worker isolation — task-reachable code mutates no module
+          globals or shared Session/MemoCache/DesignPointStore state
+R008      report JSON-serializability — payload values reach JSON-native
+          types or pass through the canonicalizer
 ========  ==============================================================
 
-Run it with ``repro-ftes lint`` or ``python -m repro.lint``; see
-:mod:`repro.lint.cli` for options (JSON output, per-rule selection, the
-committed baseline, ``# repro-lint: disable=R00x`` suppressions).
+The static rules are complemented by an opt-in *runtime* determinism
+sanitizer (:mod:`repro.lint.sanitizer`, ``repro-ftes run --sanitize`` or
+``REPRO_SANITIZE=1``) that observes a real run through patched choke points
+and reports violations in the same format/rule-id vocabulary.
+
+Run the static checker with ``repro-ftes lint`` or ``python -m repro.lint``;
+see :mod:`repro.lint.cli` for options (JSON output, per-rule selection,
+``--jobs N`` parallel parsing, the committed baseline,
+``# repro-lint: disable=R00x`` suppressions).
 """
 
 from __future__ import annotations

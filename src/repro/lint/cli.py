@@ -50,7 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker: fingerprint purity, kernel "
             "contracts, structure-token safety, seeded RNGs, Decimal/float "
-            "hygiene"
+            "hygiene, fork/pickle safety, worker isolation, report "
+            "JSON-serializability"
         ),
     )
     parser.add_argument(
@@ -102,7 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help=(
+            "worker processes for parallel module parsing "
+            "(1 = serial, 0 = one per CPU)"
+        ),
+    )
     return parser
+
+
+def _job_count(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (1 = serial, 0 = one per CPU), got {jobs}"
+        )
+    return jobs
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -133,7 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not package_dir.is_dir():
         print(f"error: lint root {package_dir} is not a directory", file=sys.stderr)
         return 2
-    project = Project.from_directory(package_dir)
+    project = Project.from_directory(package_dir, jobs=arguments.jobs)
 
     baseline_path = (
         Path(arguments.baseline)

@@ -24,6 +24,7 @@ Projects load from a package directory (the real tree) or from an in-memory
 from __future__ import annotations
 
 import ast
+import builtins as _builtins
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
@@ -76,7 +77,13 @@ class ClassInfo:
 
 @dataclass
 class LintModule:
-    """One parsed module plus its per-module indexes."""
+    """One parsed module plus its per-module indexes.
+
+    The tree is parsed exactly once; :meth:`walk` and :meth:`parent_map`
+    memoize the flat node list and the child-to-parent map so the growing
+    rule set shares one traversal per module instead of re-walking the AST
+    rule by rule.
+    """
 
     name: str
     path: str
@@ -87,6 +94,142 @@ class LintModule:
     runtime_imports: Set[str] = field(default_factory=set)
     functions: Dict[str, FunctionInfo] = field(default_factory=dict)
     classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    _walked: Optional[List[ast.AST]] = field(default=None, repr=False, compare=False)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def walk(self) -> List[ast.AST]:
+        """Every node of the module tree, memoized across rules."""
+        if self._walked is None:
+            self._walked = list(ast.walk(self.tree))
+        return self._walked
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """Child-to-parent node map over the whole module, memoized."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for parent in self.walk():
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parents = parents
+        return self._parents
+
+
+@dataclass(frozen=True)
+class ValueOrigin:
+    """Where a local name's value came from, as far as one pass can tell.
+
+    ``kind`` is one of ``"call"`` (resolved constructor/function call,
+    ``detail`` holds the dotted target), ``"lambda"``, ``"local_function"``
+    (``detail`` holds the nested function's name), ``"set"``, ``"bytes"`` or
+    ``"container"`` (tuple/list literal; ``elements`` holds the origins of
+    the elements that themselves have one).
+    """
+
+    kind: str
+    detail: str = ""
+    node: Optional[ast.AST] = None
+    elements: Tuple["ValueOrigin", ...] = ()
+
+
+class FunctionDataflow:
+    """Light intra-procedural value tracking for one function.
+
+    A single forward pass over the function records, per local name, the
+    origin of the value last assigned to it (direct assignment, annotated
+    assignment, or ``with ... as name`` capture).  Annotated parameters whose
+    annotation resolves to a project class count as instances of that class.
+    The pass is deliberately flow-insensitive across branches — the right
+    under-approximation for CI-gating rules: an origin is only recorded when
+    the defining expression is unambiguous.
+    """
+
+    def __init__(self, project: "Project", module: LintModule, info: FunctionInfo) -> None:
+        self._project = project
+        self._module = module
+        self._info = info
+        self._nested: Set[str] = {
+            node.name
+            for node in ast.walk(info.node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not info.node
+        }
+        self.env: Dict[str, ValueOrigin] = {}
+        self._seed_parameters()
+        self._scan()
+
+    # ------------------------------------------------------------------
+    def classify(self, expression: ast.expr) -> Optional[ValueOrigin]:
+        """Origin of an arbitrary expression under the final environment."""
+        if isinstance(expression, ast.Lambda):
+            return ValueOrigin("lambda", node=expression)
+        if isinstance(expression, (ast.Set, ast.SetComp)):
+            return ValueOrigin("set", node=expression)
+        if isinstance(expression, ast.Constant) and isinstance(expression.value, bytes):
+            return ValueOrigin("bytes", node=expression)
+        if isinstance(expression, ast.Name):
+            known = self.env.get(expression.id)
+            if known is not None:
+                return known
+            if expression.id in self._nested:
+                return ValueOrigin("local_function", detail=expression.id, node=expression)
+            return None
+        if isinstance(expression, (ast.Tuple, ast.List)):
+            elements = tuple(
+                origin
+                for origin in (self.classify(element) for element in expression.elts)
+                if origin is not None
+            )
+            if elements:
+                return ValueOrigin("container", node=expression, elements=elements)
+            return None
+        if isinstance(expression, ast.Call):
+            target = self._project.call_target(self._module, expression, self._info)
+            if target is not None:
+                return ValueOrigin("call", detail=target, node=expression)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    def _seed_parameters(self) -> None:
+        arguments = self._info.node.args
+        parameters = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]
+        for parameter in parameters:
+            if parameter.annotation is None:
+                continue
+            dotted = dotted_name(parameter.annotation)
+            if dotted is None:
+                continue
+            resolved = self._project.resolve_dotted(self._module, dotted)
+            found = self._project.find_class(self._module, resolved)
+            if found is not None:
+                self.env[parameter.arg] = ValueOrigin(
+                    "call", detail=found.qualname, node=parameter
+                )
+
+    def _scan(self) -> None:
+        for node in ast.walk(self._info.node):
+            if isinstance(node, ast.Assign):
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    self._record(node.targets[0].id, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    self._record(node.target.id, node.value)
+            elif isinstance(node, ast.withitem):
+                if isinstance(node.optional_vars, ast.Name):
+                    self._record(node.optional_vars.id, node.context_expr)
+
+    def _record(self, name: str, value: ast.expr) -> None:
+        origin = self.classify(value)
+        if origin is not None:
+            self.env[name] = origin
+        else:
+            self.env.pop(name, None)
 
 
 def dotted_name(node: ast.expr) -> Optional[str]:
@@ -121,21 +264,43 @@ class Project:
         }
         for module in modules.values():
             self._index_module(module)
+        # Unique class-name index: resolves re-exported names (``from
+        # repro.engine import DesignPointStore``) back to the defining class.
+        # Ambiguous names map to None and never resolve.
+        self._classes_by_name: Dict[str, Optional[ClassInfo]] = {}
+        for class_info in self.classes.values():
+            if class_info.name in self._classes_by_name:
+                self._classes_by_name[class_info.name] = None
+            else:
+                self._classes_by_name[class_info.name] = class_info
+        self._dataflow_cache: Dict[str, FunctionDataflow] = {}
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_directory(cls, package_dir: Path, package: Optional[str] = None) -> "Project":
+    def from_directory(
+        cls,
+        package_dir: Path,
+        package: Optional[str] = None,
+        jobs: int = 1,
+    ) -> "Project":
         """Parse every ``*.py`` file under one package directory.
 
         ``package_dir`` is the directory of the package itself (the one
         containing the top-level ``__init__.py``); ``package`` defaults to
-        the directory name.
+        the directory name.  ``jobs > 1`` parses the files in a process pool
+        (AST trees pickle cleanly); cross-module indexing stays in the
+        parent, so results are identical to the serial path.  ``jobs == 0``
+        means one worker per CPU.
         """
+        if jobs == 0:
+            import os
+
+            jobs = os.cpu_count() or 1
         package_dir = Path(package_dir).resolve()
         package_name = package or package_dir.name
-        modules: Dict[str, LintModule] = {}
+        tasks: List[Tuple[str, str, str]] = []
         for path in sorted(package_dir.rglob("*.py")):
             relative = path.relative_to(package_dir)
             parts = [package_name, *relative.parts[:-1]]
@@ -143,8 +308,18 @@ class Project:
                 parts.append(relative.stem)
             name = ".".join(parts)
             display = str(Path(package_dir.name, *relative.parts))
-            source = path.read_text(encoding="utf-8")
-            modules[name] = _parse_module(name, display, source)
+            tasks.append((name, display, str(path)))
+        modules: Dict[str, LintModule] = {}
+        if jobs > 1 and len(tasks) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for module in pool.map(_load_module_file, tasks):
+                    modules[module.name] = module
+        else:
+            for task in tasks:
+                module = _load_module_file(task)
+                modules[module.name] = module
         return cls(modules)
 
     @classmethod
@@ -259,14 +434,75 @@ class Project:
             return resolved
         return None
 
+    def call_target(
+        self,
+        module: LintModule,
+        call: ast.Call,
+        enclosing: Optional[FunctionInfo] = None,
+    ) -> Optional[str]:
+        """Best-effort dotted target of a call, including external callables.
+
+        Like :meth:`resolve_call` but also names targets *outside* the
+        project: any Python builtin resolves to ``builtins.<name>``, and a
+        dotted chain rooted in an import binding resolves to its external
+        dotted path (``concurrent.futures.ProcessPoolExecutor``,
+        ``decimal.getcontext``).  Attribute chains rooted in a local variable
+        stay unresolvable — the dataflow pass handles those separately.
+        """
+        resolved = self.resolve_call(module, call, enclosing)
+        if resolved is not None:
+            return resolved
+        func = call.func
+        if isinstance(func, ast.Name):
+            if hasattr(_builtins, func.id):
+                return f"builtins.{func.id}"
+            return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        first, _, _rest = dotted.partition(".")
+        if first in ("self", "cls"):
+            return None
+        if first in module.bindings:
+            return self.resolve_dotted(module, dotted)
+        return None
+
+    def find_class(self, module: LintModule, dotted: str) -> Optional[ClassInfo]:
+        """Project class named by ``dotted``, tolerating re-exported paths.
+
+        Tries the exact qualname, the module-local name, then — best effort —
+        a project-unique class-name suffix (resolves ``from repro.engine
+        import DesignPointStore`` back to the defining class).
+        """
+        found = self.classes.get(dotted)
+        if found is None:
+            found = self.classes.get(f"{module.name}.{dotted}")
+        if found is None:
+            found = self._classes_by_name.get(dotted.rsplit(".", 1)[-1])
+        return found
+
+    def dataflow(self, info: FunctionInfo) -> FunctionDataflow:
+        """Memoized :class:`FunctionDataflow` for one project function."""
+        cached = self._dataflow_cache.get(info.qualname)
+        if cached is None:
+            cached = FunctionDataflow(self, self.modules[info.module], info)
+            self._dataflow_cache[info.qualname] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # graphs
     # ------------------------------------------------------------------
-    def reachable_functions(self, roots: Iterable[str]) -> Set[str]:
+    def reachable_functions(
+        self, roots: Iterable[str], follow_instances: bool = False
+    ) -> Set[str]:
         """Project functions reachable from ``roots`` through resolved calls.
 
         Constructor calls continue into the class's ``__init__``.  The walk
-        stays within the project; builtins terminate an edge.
+        stays within the project; builtins terminate an edge.  With
+        ``follow_instances`` the dataflow pass extends the edge set: a method
+        call on a local whose tracked origin is a project-class constructor
+        (``store = DesignPointStore(...); store.warm(...)``) resolves into
+        that class's method.
         """
         queue: List[str] = [root for root in roots if root in self.functions]
         reachable: Set[str] = set(queue)
@@ -274,10 +510,13 @@ class Project:
             qualname = queue.pop()
             info = self.functions[qualname]
             module = self.modules[info.module]
+            flow = self.dataflow(info) if follow_instances else None
             for node in ast.walk(info.node):
                 if not isinstance(node, ast.Call):
                     continue
                 target = self.resolve_call(module, node, info)
+                if target is None and flow is not None:
+                    target = self._instance_method_target(module, node, flow)
                 if target is None or target.startswith("builtins."):
                     continue
                 if target in self.classes:
@@ -286,6 +525,22 @@ class Project:
                     reachable.add(target)
                     queue.append(target)
         return reachable
+
+    def _instance_method_target(
+        self, module: LintModule, call: ast.Call, flow: FunctionDataflow
+    ) -> Optional[str]:
+        """Resolve ``local.method(...)`` through the local's tracked origin."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) or not isinstance(func.value, ast.Name):
+            return None
+        origin = flow.env.get(func.value.id)
+        if origin is None or origin.kind != "call":
+            return None
+        class_info = self.find_class(module, origin.detail)
+        if class_info is None:
+            return None
+        method = class_info.methods.get(func.attr)
+        return method.qualname if method is not None else None
 
     def runtime_import_closure(self, root: str) -> Set[str]:
         """Project modules transitively imported from ``root`` at runtime.
@@ -342,6 +597,13 @@ def _parse_module(name: str, path: str, source: str) -> LintModule:
         tree=tree,
         lines=source.splitlines(),
     )
+
+
+def _load_module_file(task: Tuple[str, str, str]) -> LintModule:
+    """Read and parse one file; module-level so a process pool can run it."""
+    name, display, path = task
+    source = Path(path).read_text(encoding="utf-8")
+    return _parse_module(name, display, source)
 
 
 def _resolve_relative(module_name: str, level: int, target: Optional[str]) -> str:

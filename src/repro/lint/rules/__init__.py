@@ -14,6 +14,9 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     r003_structure_token,
     r004_seeded_rng,
     r005_decimal_float,
+    r006_fork_pickle,
+    r007_worker_isolation,
+    r008_report_json,
 )
 
 __all__ = [
@@ -22,4 +25,7 @@ __all__ = [
     "r003_structure_token",
     "r004_seeded_rng",
     "r005_decimal_float",
+    "r006_fork_pickle",
+    "r007_worker_isolation",
+    "r008_report_json",
 ]

@@ -94,7 +94,7 @@ class FingerprintPurityRule(LintRule):
     def _check_function(
         self, project: Project, module: LintModule, info: FunctionInfo
     ) -> Iterator[Violation]:
-        parents = _parent_map(info.node)
+        parents = module.parent_map()
         for node in ast.walk(info.node):
             if isinstance(node, ast.Call):
                 target = project.resolve_call(module, node, info)
@@ -179,14 +179,6 @@ class FingerprintPurityRule(LintRule):
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
-def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
-    parents: Dict[ast.AST, ast.AST] = {}
-    for parent in ast.walk(root):
-        for child in ast.iter_child_nodes(parent):
-            parents[child] = parent
-    return parents
-
-
 def _iteration_sites(node: ast.AST) -> List[Tuple[ast.expr, ast.AST]]:
     """``(iterable expression, owning For/comprehension node)`` pairs."""
     sites: List[Tuple[ast.expr, ast.AST]] = []

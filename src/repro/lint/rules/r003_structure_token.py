@@ -114,7 +114,7 @@ class StructureTokenRule(LintRule):
     def _check_module(
         self, project: Project, module: LintModule
     ) -> Iterator[Violation]:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             for attr, mutation, anchor in _mutations(node):
                 if self._is_sanctioned(project, module, anchor, attr):
                     continue

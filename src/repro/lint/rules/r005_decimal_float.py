@@ -21,7 +21,7 @@ float-tainted constructions, mixed arithmetic and mixed comparisons.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Sequence, Set
+from typing import Iterator, List, Sequence, Set, Tuple
 
 from repro.lint.model import Violation
 from repro.lint.project import LintModule, Project
@@ -204,19 +204,19 @@ def _imports_decimal(module: LintModule) -> bool:
     )
 
 
-def _scopes(module: LintModule) -> List:
+def _scopes(module: LintModule) -> List[Tuple[str, List[ast.stmt]]]:
     """``(scope name, statement list)`` pairs: module body + every function.
 
     The module scope prunes function and class definitions (methods and
     top-level functions are their own scopes), so no node is checked twice.
     """
-    scopes: List = [(module.name, module.tree.body)]
+    scopes: List[Tuple[str, List[ast.stmt]]] = [(module.name, module.tree.body)]
     for info in module.functions.values():
         scopes.append((info.qualname, info.node.body))
     return scopes
 
 
-def _scope_nodes(body: Sequence[ast.stmt], prune_defs: bool):
+def _scope_nodes(body: Sequence[ast.stmt], prune_defs: bool) -> Iterator[ast.AST]:
     """All AST nodes of one scope, optionally pruning nested definitions."""
     pending: List[ast.AST] = list(body)
     while pending:

@@ -36,7 +36,9 @@ def test_json_report_has_no_new_violations():
     assert result.returncode == 0, result.stdout + result.stderr
     payload = json.loads(result.stdout)
     assert payload["new_count"] == 0
-    assert payload["rules"] == ["R001", "R002", "R003", "R004", "R005"]
+    assert payload["rules"] == [
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    ]
     # The whole package is being checked, not a subtree.
     assert payload["checked_modules"] >= 80
 
@@ -54,8 +56,17 @@ def test_committed_baseline_parses_and_matches_current_findings():
 def test_rule_listing_names_all_invariants():
     result = run_lint_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+    for rule_id in (
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    ):
         assert rule_id in result.stdout
+
+
+def test_parallel_parsing_matches_serial():
+    serial = run_lint_cli("--format", "json")
+    parallel = run_lint_cli("--format", "json", "--jobs", "2")
+    assert parallel.returncode == serial.returncode
+    assert json.loads(parallel.stdout) == json.loads(serial.stdout)
 
 
 def test_seeded_known_bad_tree_fails(tmp_path):

@@ -604,6 +604,66 @@ class TestSeededRng:
         )
         assert findings(project, "R004") == []
 
+    def test_seedless_default_rng_fires(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                import numpy as np
+
+                def draw(n):
+                    return np.random.default_rng().random(n)
+                """
+            }
+        )
+        (violation,) = findings(project, "R004")
+        assert "seedless numpy.random.default_rng()" in violation.message
+
+    def test_seedless_seed_sequence_and_bit_generator_fire(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                from numpy.random import PCG64, Generator, SeedSequence
+
+                def streams():
+                    root = SeedSequence()
+                    return Generator(PCG64())
+                """
+            }
+        )
+        messages = sorted(v.message for v in findings(project, "R004"))
+        assert len(messages) == 2
+        assert any("SeedSequence()" in message for message in messages)
+        assert any("PCG64()" in message for message in messages)
+
+    def test_seeded_bit_generator_chain_is_quiet(self):
+        project = project_from(
+            **{
+                "repro.generator.good": """
+                from numpy.random import PCG64, Generator, SeedSequence
+
+                def streams(seed):
+                    root = SeedSequence(seed)
+                    children = root.spawn(2)
+                    return [Generator(PCG64(child)) for child in children]
+                """
+            }
+        )
+        assert findings(project, "R004") == []
+
+    def test_bare_generator_without_bit_generator_fires(self):
+        project = project_from(
+            **{
+                "repro.generator.bad": """
+                from numpy.random import Generator
+
+                def draw():
+                    return Generator()
+                """
+            }
+        )
+        (violation,) = findings(project, "R004")
+        assert "bare numpy.random.Generator construction" in violation.message
+
 
 # ----------------------------------------------------------------------
 # R005 — Decimal/float mixing
@@ -813,8 +873,10 @@ class TestBaseline:
 # registry / report plumbing
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_five_rules_registered_in_order(self):
-        assert RULES.ids() == ["R001", "R002", "R003", "R004", "R005"]
+    def test_all_eight_rules_registered_in_order(self):
+        assert RULES.ids() == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        ]
 
     def test_rule_selection_restricts_the_run(self):
         project = project_from(
@@ -847,3 +909,343 @@ class TestRegistry:
         payload = second.as_dict()
         assert payload["new_count"] == 0
         assert payload["violations"][0]["baselined"] is True
+
+
+# ----------------------------------------------------------------------
+# R006 — fork/pickle safety
+# ----------------------------------------------------------------------
+class TestForkPickle:
+    def test_lambda_submitted_to_pool_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def sweep(values):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(lambda v: v + 1, values))
+                """
+            }
+        )
+        (violation,) = findings(project, "R006")
+        assert "lambda as submitted callable" in violation.message
+        assert violation.symbol == "repro.experiments.bad.sweep"
+
+    def test_nested_function_submitted_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def sweep(values):
+                    def task(v):
+                        return v + 1
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(task, values)
+                """
+            }
+        )
+        (violation,) = findings(project, "R006")
+        assert "nested function 'task'" in violation.message
+
+    def test_open_handle_in_task_payload_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                def ship(path, pool):
+                    handle = open(path)
+                    return pool.submit(len, handle)
+                """
+            }
+        )
+        (violation,) = findings(project, "R006")
+        assert "open file handle in task payload" in violation.message
+
+    def test_shared_engine_handle_in_payload_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                from repro.engine.engine import EvaluationEngine
+
+                def ship(app, profile, pool):
+                    engine = EvaluationEngine(app, profile)
+                    return pool.submit(len, (0, engine))
+                """,
+                "repro.engine.engine": """
+                class EvaluationEngine:
+                    def __init__(self, app, profile):
+                        self.app = app
+                """,
+            }
+        )
+        (violation,) = findings(project, "R006")
+        assert "EvaluationEngine handle in task payload" in violation.message
+
+    def test_initargs_with_decimal_context_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                import decimal
+                from concurrent.futures import ProcessPoolExecutor
+
+                def sweep(worker):
+                    context = decimal.getcontext()
+                    pool = ProcessPoolExecutor(
+                        initializer=worker, initargs=(context,)
+                    )
+                    return pool
+                """
+            }
+        )
+        (violation,) = findings(project, "R006")
+        assert "decimal context in initargs" in violation.message
+
+    def test_module_level_function_and_scalar_tasks_are_quiet(self):
+        project = project_from(
+            **{
+                "repro.experiments.good": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def _init_worker(count, seed):
+                    pass
+
+                def _task(triple):
+                    index, ser, hpd = triple
+                    return index
+
+                def sweep(settings):
+                    with ProcessPoolExecutor(
+                        initializer=_init_worker, initargs=(4, 42)
+                    ) as pool:
+                        tasks = [(i, s, h) for i, (s, h) in enumerate(settings)]
+                        return list(pool.map(_task, tasks))
+                """
+            }
+        )
+        assert findings(project, "R006") == []
+
+
+# ----------------------------------------------------------------------
+# R007 — worker shared-state isolation
+# ----------------------------------------------------------------------
+class TestWorkerIsolation:
+    def test_task_mutating_module_global_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                _CACHE = {}
+
+                def task(value):
+                    _CACHE[value] = value
+                    return value
+
+                def sweep(pool, values):
+                    return list(pool.map(task, values))
+                """
+            }
+        )
+        (violation,) = findings(project, "R007")
+        assert "module global '_CACHE'" in violation.message
+        assert violation.symbol == "repro.experiments.bad.task"
+
+    def test_global_statement_in_task_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                _TOTAL = 0
+
+                def task(value):
+                    global _TOTAL
+                    _TOTAL += value
+                    return value
+
+                def sweep(pool, values):
+                    return pool.submit(task, values)
+                """
+            }
+        )
+        messages = [v.message for v in findings(project, "R007")]
+        assert any("'global _TOTAL'" in message for message in messages)
+
+    def test_task_reaching_into_memo_cache_fires(self):
+        # The mutation sits one call below the entrypoint: the closure must
+        # follow the helper call and the tracked MemoCache instance.
+        project = project_from(
+            **{
+                "repro.engine.cache": """
+                class MemoCache:
+                    def __init__(self, name):
+                        self._store = {}
+
+                    def put(self, key, value):
+                        self._store[key] = value
+                """,
+                "repro.experiments.bad": """
+                from repro.engine.cache import MemoCache
+
+                def _helper(value):
+                    cache = MemoCache("decisions")
+                    cache._store["warm"] = value
+                    return cache
+
+                def task(value):
+                    return _helper(value)
+
+                def sweep(pool, values):
+                    return pool.submit(task, values)
+                """,
+            }
+        )
+        messages = [v.message for v in findings(project, "R007")]
+        assert any("MemoCache state ('_store')" in message for message in messages)
+
+    def test_guarded_class_own_write_path_is_quiet(self):
+        # MemoCache.put mutates _store from worker-reachable code, but it is
+        # the class's sanctioned mutator — the write path the parent owns.
+        project = project_from(
+            **{
+                "repro.engine.cache": """
+                class MemoCache:
+                    def __init__(self, name):
+                        self._store = {}
+
+                    def put(self, key, value):
+                        self._store[key] = value
+                """,
+                "repro.experiments.good": """
+                from repro.engine.cache import MemoCache
+
+                def task(value):
+                    local = MemoCache("decisions")
+                    local.put("key", value)
+                    return value
+
+                def sweep(pool, values):
+                    return pool.submit(task, values)
+                """,
+            }
+        )
+        assert findings(project, "R007") == []
+
+    def test_read_only_worker_state_is_quiet(self):
+        # Initializer-populated module state read (not written) by the task;
+        # the initializer itself is not task-reachable and may write.
+        project = project_from(
+            **{
+                "repro.experiments.good": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _STATE = {}
+
+                def _init_worker(count):
+                    _STATE["count"] = count
+
+                def task(value):
+                    return _STATE["count"] + value
+
+                def sweep(values):
+                    with ProcessPoolExecutor(
+                        initializer=_init_worker, initargs=(4,)
+                    ) as pool:
+                        return list(pool.map(task, values))
+                """
+            }
+        )
+        assert findings(project, "R007") == []
+
+
+# ----------------------------------------------------------------------
+# R008 — report JSON-serializability
+# ----------------------------------------------------------------------
+class TestReportJson:
+    def test_set_in_runner_payload_fires(self):
+        project = project_from(
+            **{
+                "repro.api.scenarios_bad": """
+                from repro.api.registry import ScenarioOutcome, register_scenario
+
+                @register_scenario("bad")
+                def run_bad(session, params):
+                    return ScenarioOutcome(payload={"levels": {1, 2, 3}})
+                """
+            }
+        )
+        messages = [v.message for v in findings(project, "R008")]
+        assert any("set in a report payload" in message for message in messages)
+
+    def test_decimal_in_runner_payload_fires(self):
+        project = project_from(
+            **{
+                "repro.api.scenarios_bad": """
+                from decimal import Decimal
+
+                from repro.api.registry import ScenarioOutcome, register_scenario
+
+                @register_scenario("bad")
+                def run_bad(session, params):
+                    payload = {"cost": Decimal("12.5")}
+                    return ScenarioOutcome(payload=payload)
+                """
+            }
+        )
+        messages = [v.message for v in findings(project, "R008")]
+        assert any("Decimal" in message for message in messages)
+
+    def test_run_report_outside_api_boundary_fires(self):
+        project = project_from(
+            **{
+                "repro.experiments.bad": """
+                from repro.api.report import RunReport
+
+                def export(results):
+                    return RunReport(scenario="adhoc", config=None, results=results)
+                """
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert "RunReport constructed outside the API boundary" in violation.message
+
+    def test_outcome_without_canonicalization_fires(self):
+        project = project_from(
+            **{
+                "repro.api.registry": """
+                class ScenarioOutcome:
+                    def __init__(self, payload, text=""):
+                        self.payload = payload
+                        self.text = text
+                """
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert "must canonicalize the payload" in violation.message
+
+    def test_canonicalized_outcome_and_native_payload_are_quiet(self):
+        project = project_from(
+            **{
+                "repro.api.registry": """
+                def canonicalize_payload(value):
+                    return value
+
+                class ScenarioOutcome:
+                    def __init__(self, payload, text=""):
+                        self.payload = payload
+
+                    def __post_init__(self):
+                        self.payload = canonicalize_payload(self.payload)
+
+                def register_scenario(scenario_id):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+                """,
+                "repro.api.scenarios_good": """
+                from repro.api.registry import ScenarioOutcome, register_scenario
+
+                @register_scenario("good")
+                def run_good(session, params):
+                    acceptance = {"20": 85.0, "40": 90.0}
+                    return ScenarioOutcome(payload={"acceptance": acceptance})
+                """,
+            }
+        )
+        assert findings(project, "R008") == []
