@@ -1,0 +1,27 @@
+# repro-ftes evaluation service.
+#
+#   docker build -t repro-ftes .
+#   docker run --rm -p 8321:8321 -v repro-store:/var/lib/repro repro-ftes
+#
+# The default command serves the scenario registry on 0.0.0.0:8321 with the
+# spool/store under /var/lib/repro — mount a volume there to keep the warm
+# design-point store across container restarts.  Any repro-ftes subcommand
+# works as the run command, e.g.:
+#
+#   docker run --rm repro-ftes run fig6a --preset fast
+
+FROM python:3.11-slim
+
+WORKDIR /opt/repro-ftes
+
+# Dependency layer first so source edits do not re-resolve wheels.
+COPY pyproject.toml setup.py README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+RUN mkdir -p /var/lib/repro
+
+EXPOSE 8321
+
+ENTRYPOINT ["repro-ftes"]
+CMD ["serve", "--host", "0.0.0.0", "--port", "8321", "--spool-dir", "/var/lib/repro"]

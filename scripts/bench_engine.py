@@ -83,25 +83,31 @@ def _run_sweep(
     }
 
 
-#: Size/seed of the synthetic-random family run benchmarked below: large
-#: enough that the DSE neighbourhood batching sees multi-row blocks, small
-#: enough to stay a smoke-scale addition to the run.
-SYNTHETIC_RANDOM_PROCESSES = 60
+#: Scaling curve of the synthetic-random family: the DSE loop's cost is
+#: dominated by neighbourhood evaluation, so a single size hides how the
+#: batched kernels amortize with problem size.  Each size is its own gated
+#: history pair key (``synthetic-random-n<N>:batch+batch``).
+SYNTHETIC_RANDOM_SCALE = (50, 200, 800)
+#: Sizes also run on the reference pair for the bit-identity gate; the
+#: largest point is timing-only (the reference pair there roughly doubles
+#: the whole benchmark run for a check two smaller sizes already provide).
+SYNTHETIC_RANDOM_GATED = (50, 200)
 SYNTHETIC_RANDOM_SEED = 7
 
 
 def _run_synthetic_random(
+    n_processes: int,
     sfp_kernel: str,
     sched_kernel: Optional[str] = None,
     store_dir=None,
 ) -> dict:
-    """One ``synthetic-random`` family run (fast preset, fixed size/seed)."""
+    """One ``synthetic-random`` family run (fast preset, fixed seed)."""
     config = api.RunConfig(
         sfp_kernel=sfp_kernel,
         sched_kernel=sched_kernel,
         cache_dir=store_dir,
         scenario_params={
-            "n_processes": SYNTHETIC_RANDOM_PROCESSES,
+            "n_processes": n_processes,
             "seed": SYNTHETIC_RANDOM_SEED,
         },
     )
@@ -298,25 +304,34 @@ def main() -> int:
             "wall_clock_seconds"
         ]
 
-    # Parameterized synthetic-random family: one cold run on the batched
-    # pair against a throwaway store (everything is computed, so the history
-    # tracks the family's end-to-end cost and its batch fill rate), gated
-    # bit-for-bit against the reference pair.
-    synthetic_random = None
+    # Parameterized synthetic-random family: a cold scaling curve on the
+    # batched pair — one run per SYNTHETIC_RANDOM_SCALE size against a
+    # throwaway store (everything is computed, so the history tracks each
+    # size's end-to-end cost and batch fill rate).  The smaller sizes are
+    # also gated bit-for-bit against the reference pair; the largest point
+    # is timing-only (see SYNTHETIC_RANDOM_GATED).
+    synthetic_random = {}
     if "batch" in names and "batch" in sched_names:
-        with tempfile.TemporaryDirectory(prefix="repro-bench-random-") as store_dir:
-            synthetic_random = _run_synthetic_random(
-                "batch", sched_kernel="batch", store_dir=Path(store_dir)
-            )
-        random_reference = _run_synthetic_random("reference", sched_kernel="reference")
-        if synthetic_random["strategies"] != random_reference["strategies"]:
-            errors.append(
-                "synthetic-random batch+batch design output diverged from reference"
-            )
-        if synthetic_random["cache"]["batch_cold_rows"] < 2:
-            errors.append(
-                "cold synthetic-random run saw no multi-row cold batch blocks"
-            )
+        for n_processes in SYNTHETIC_RANDOM_SCALE:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-random-") as store_dir:
+                run = _run_synthetic_random(
+                    n_processes, "batch", sched_kernel="batch", store_dir=Path(store_dir)
+                )
+            synthetic_random[f"n{n_processes}"] = run
+            if n_processes in SYNTHETIC_RANDOM_GATED:
+                random_reference = _run_synthetic_random(
+                    n_processes, "reference", sched_kernel="reference"
+                )
+                if run["strategies"] != random_reference["strategies"]:
+                    errors.append(
+                        f"synthetic-random n={n_processes} batch+batch design "
+                        "output diverged from reference"
+                    )
+            if run["cache"]["batch_cold_rows"] < 2:
+                errors.append(
+                    f"cold synthetic-random n={n_processes} run saw no "
+                    "multi-row cold batch blocks"
+                )
 
     # Persistent-store cold/warm pass on the auto-selected (fastest) kernel.
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
@@ -351,7 +366,7 @@ def main() -> int:
     }
     if batch_pair is not None:
         payload["batch_pair"] = batch_pair
-    if synthetic_random is not None:
+    if synthetic_random:
         payload["synthetic_random"] = synthetic_random
     arguments.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
@@ -368,8 +383,8 @@ def main() -> int:
                 "cold_store_wall_clock_seconds"
             ],
         )
-    if synthetic_random is not None:
-        pairs["synthetic-random-cold:batch+batch"] = _pair_entry(synthetic_random)
+    for size_key, run in synthetic_random.items():
+        pairs[f"synthetic-random-{size_key}:batch+batch"] = _pair_entry(run)
     history_record = {
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Drive a running repro.serve instance end to end, stdlib-only.
+
+Used by the CI ``serve-smoke`` job (and handy locally):
+
+    repro-ftes serve --port 8321 &
+    python scripts/serve_smoke.py --port 8321 --output fig6a_report.json
+    python scripts/diff_report_golden.py fig6a_report.json tests/golden/fig6a_fast.json
+
+Waits for ``/healthz``, checks the scenario is listed, submits one job,
+streams its NDJSON event feed to stdout, then fetches the final job record
+and writes the embedded report JSON to ``--output`` in the exact shape
+``repro-ftes run --output`` produces — so the golden diff script applies
+unchanged.  Exits non-zero on any divergence from the expected lifecycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+
+def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, bytes]:
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def wait_healthy(host: str, port: int, timeout: float) -> Dict[str, Any]:
+    deadline = time.monotonic() + timeout
+    last_error: Optional[str] = None
+    while time.monotonic() < deadline:
+        try:
+            status, payload = _request(host, port, "GET", "/healthz", timeout=5.0)
+        except OSError as error:
+            last_error = str(error)
+        else:
+            if status == 200:
+                return json.loads(payload)
+            last_error = f"healthz returned {status}"
+        time.sleep(0.25)
+    raise SystemExit(f"server never became healthy within {timeout}s: {last_error}")
+
+
+def stream_events(host: str, port: int, job_id: str, timeout: float) -> str:
+    """Relay the job's NDJSON feed to stdout; return the terminal event name."""
+    connection = HTTPConnection(host, port, timeout=timeout)
+    terminal = ""
+    try:
+        connection.request("GET", f"/jobs/{job_id}/events")
+        response = connection.getresponse()
+        if response.status != 200:
+            raise SystemExit(f"event stream returned {response.status}")
+        for raw in response:  # server closes after the terminal event
+            line = raw.decode("utf-8").rstrip("\n")
+            if not line:
+                continue
+            print(line, flush=True)
+            terminal = json.loads(line).get("event", "")
+    finally:
+        connection.close()
+    return terminal
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--scenario", default="fig6a")
+    parser.add_argument("--preset", default="fast")
+    parser.add_argument(
+        "--output", type=Path, required=True, help="where to write the report JSON"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="overall wall-clock budget (s)"
+    )
+    arguments = parser.parse_args()
+    host, port = arguments.host, arguments.port
+
+    health = wait_healthy(host, port, min(60.0, arguments.timeout))
+    print(f"healthz: {json.dumps(health, sort_keys=True)}", flush=True)
+
+    status, payload = _request(host, port, "GET", "/scenarios")
+    if status != 200:
+        raise SystemExit(f"GET /scenarios returned {status}")
+    listed = {spec["id"] for spec in json.loads(payload)["scenarios"]}
+    if arguments.scenario not in listed:
+        raise SystemExit(f"scenario {arguments.scenario!r} not in registry: {sorted(listed)}")
+
+    status, payload = _request(
+        host,
+        port,
+        "POST",
+        "/jobs",
+        {"scenario": arguments.scenario, "config": {"preset": arguments.preset}},
+    )
+    if status != 202:
+        raise SystemExit(f"POST /jobs returned {status}: {payload.decode()}")
+    job_id = json.loads(payload)["id"]
+    print(f"submitted {job_id}", flush=True)
+
+    terminal = stream_events(host, port, job_id, arguments.timeout)
+    if terminal != "job_done":
+        raise SystemExit(f"job ended with {terminal!r}, expected 'job_done'")
+
+    status, payload = _request(host, port, "GET", f"/jobs/{job_id}")
+    if status != 200:
+        raise SystemExit(f"GET /jobs/{job_id} returned {status}")
+    record = json.loads(payload)
+    if record["state"] != "done":
+        raise SystemExit(f"job state {record['state']!r}: {record.get('error')}")
+
+    arguments.output.write_text(
+        json.dumps(record["report"], indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote report to {arguments.output}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ from repro.api.registry import (
     register_scenario,
 )
 from repro.api.report import REPORT_SCHEMA_VERSION, RunReport
-from repro.api.session import Session
+from repro.api.session import ProgressCallback, Session
 
 # Importing the modules registers the built-in scenarios and the
 # parameterized scenario families.
@@ -55,6 +55,7 @@ def run(scenario_id: str, config: Optional[RunConfig] = None) -> RunReport:
 __all__ = [
     "DEFAULT_CACHE_SIZE_MB",
     "PRESETS",
+    "ProgressCallback",
     "REPORT_SCHEMA_VERSION",
     "RunConfig",
     "RunReport",

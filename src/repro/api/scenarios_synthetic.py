@@ -163,6 +163,7 @@ def run_synthetic_random(session: "Session", params: Dict[str, Any]) -> Scenario
         tuple(STRATEGIES),
         session.config.cache_dir,
         session.config.cache_max_bytes,
+        session.single_flight,
     )
     counters = _design_counters(results)
     counters.update({key: float(value) for key, value in disk.items()})
@@ -249,6 +250,8 @@ def run_synthetic_suite(session: "Session", params: Dict[str, Any]) -> ScenarioO
         n_jobs=session.config.jobs,
         store_dir=session.config.cache_dir,
         store_max_bytes=session.config.cache_max_bytes,
+        single_flight=session.single_flight,
+        progress=session.emit_progress if session.progress is not None else None,
     )
     try:
         setting = experiment.run_setting(FAMILY_SER, FAMILY_HPD)

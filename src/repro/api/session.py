@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from types import TracebackType
-from typing import ContextManager, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, ContextManager, Dict, Mapping, Optional, Tuple
 
 from repro.api.config import RunConfig
 from repro.api.registry import get_scenario
@@ -40,6 +40,13 @@ from repro.kernels.registry import SCHED_KERNELS, SFP_KERNELS, use_kernel
 from repro.kernels.sched_base import SchedulerKernel
 
 _KernelScope = ContextManager[Tuple[SFPKernel, SchedulerKernel]]
+
+#: Observer invoked with one JSON-native event dict per progress step —
+#: ``scenario_started`` / ``setting_progress`` (with engine/batch cache
+#: counter snapshots per optimizer round) / ``scenario_finished``.  The
+#: serve layer streams these as NDJSON; a callback must never mutate the
+#: event or raise (a raising observer aborts the run it watches).
+ProgressCallback = Callable[[Dict[str, Any]], None]
 
 #: Zeroed cache counters reported by scenarios that never touch the
 #: memoized experiment machinery (e.g. the motivational examples).
@@ -79,8 +86,23 @@ class Session:
     own.  Either way the ambient process state is restored afterwards.
     """
 
-    def __init__(self, config: Optional[RunConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        progress: Optional[ProgressCallback] = None,
+        single_flight: bool = False,
+    ) -> None:
         self.config = config if config is not None else RunConfig()
+        #: Optional progress observer (see :data:`ProgressCallback`).  Like
+        #: the sanitizer this is deliberately *not* a :class:`RunConfig`
+        #: field: it is an observer handle, not an experiment parameter, and
+        #: keeping it out of the frozen config preserves the lossless config
+        #: round-trip in report JSON.
+        self.progress = progress
+        #: Serialize identical engine contexts across concurrent processes
+        #: sharing this session's ``cache_dir`` (the serve job queue's
+        #: shared warm store); see :meth:`DesignPointStore.single_flight`.
+        self.single_flight = single_flight
         self._experiment: Optional[AcceptanceExperiment] = None
         self._store: Optional[DesignPointStore] = None
         self._kernel_scope: Optional[_KernelScope] = None
@@ -157,8 +179,15 @@ class Session:
                 n_jobs=jobs,
                 store_dir=self.config.cache_dir,
                 store_max_bytes=self.config.cache_max_bytes,
+                single_flight=self.single_flight,
+                progress=self.emit_progress if self.progress is not None else None,
             )
         return self._experiment
+
+    def emit_progress(self, event: Dict[str, Any]) -> None:
+        """Forward one progress event to the session's observer, if any."""
+        if self.progress is not None:
+            self.progress(event)
 
     def add_cache_counters(self, counters: Mapping[str, float]) -> None:
         """Accumulate engine counters from a scenario-owned engine.
@@ -208,9 +237,25 @@ class Session:
                 "sfp": SFP_KERNELS.active().name,
                 "sched": SCHED_KERNELS.active().name,
             }
+            self.emit_progress(
+                {
+                    "event": "scenario_started",
+                    "scenario": scenario_id,
+                    "params": dict(params),
+                    "kernels": kernels,
+                }
+            )
             start = time.perf_counter()
             outcome = spec.runner(self, params)
             wall_clock = time.perf_counter() - start
+            self.emit_progress(
+                {
+                    "event": "scenario_finished",
+                    "scenario": scenario_id,
+                    "wall_clock_seconds": wall_clock,
+                    "cache": self.cache_report(),
+                }
+            )
         report = RunReport(
             scenario=scenario_id,
             config=self.config,

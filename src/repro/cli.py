@@ -148,6 +148,43 @@ def _config_from_arguments(
     )
 
 
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _run_serve(arguments: argparse.Namespace) -> int:
+    """Build a :class:`ServeConfig` from the flags and run the server."""
+    import os
+
+    from repro.lint.sanitizer import SANITIZE_ENV, env_requests_sanitizer
+    from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ServeConfig, run_server
+
+    sanitize = bool(arguments.sanitize) or env_requests_sanitizer()
+    if sanitize:
+        # Export the opt-in so fork-started pool workers inherit it.
+        os.environ.setdefault(SANITIZE_ENV, "1")
+    try:
+        config = ServeConfig(
+            host=arguments.host if arguments.host is not None else DEFAULT_HOST,
+            port=arguments.port if arguments.port is not None else DEFAULT_PORT,
+            workers=arguments.workers,
+            queue_size=arguments.queue_size,
+            job_timeout_seconds=arguments.job_timeout,
+            spool_dir=arguments.spool_dir,
+            cache_dir=arguments.cache_dir,
+            cache_size_mb=arguments.cache_size_mb,
+            single_flight=not arguments.no_single_flight,
+            sanitize=sanitize,
+        )
+    except ModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return run_server(config)
+
+
 def _run_lint_args(lint_args: Sequence[str]) -> int:
     """Delegate ``repro-ftes lint ...`` to the :mod:`repro.lint` CLI."""
     from repro.lint.cli import main as lint_main
@@ -254,6 +291,76 @@ def build_parser() -> argparse.ArgumentParser:
         "controller case study",
     )
     cruise.set_defaults(handler=_run_cruise_control)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async evaluation service (HTTP JSON API over the "
+        "scenario registry; see `python -m repro.serve --help`)",
+    )
+    serve.add_argument(
+        "--host", default=None, help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default 8321; 0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=2,
+        help="job worker processes sharing the warm store (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_worker_count,
+        default=16,
+        metavar="N",
+        help="bounded job queue capacity; beyond it POST /jobs returns "
+        "429 with Retry-After (default 16)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout; exceeded jobs are recorded "
+        "as failed (default: unbounded)",
+    )
+    serve.add_argument(
+        "--spool-dir",
+        type=Path,
+        default=None,
+        help="directory for per-job event spools and the shared store "
+        "(default: a fresh temp directory)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="shared design-point store directory (default: <spool>/store)",
+    )
+    serve.add_argument(
+        "--cache-size-mb",
+        type=_cache_size,
+        default=DEFAULT_CACHE_SIZE_MB,
+        help="size cap of the shared store in MiB",
+    )
+    serve.add_argument(
+        "--no-single-flight",
+        action="store_true",
+        help="disable the store's single-flight guard (debugging aid; "
+        "concurrent identical jobs may then compute points twice)",
+    )
+    serve.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="install the runtime determinism sanitizer in every job "
+        "worker (also enabled by REPRO_SANITIZE=1); jobs recording "
+        "violations are failed",
+    )
+    serve.set_defaults(handler=_run_serve)
 
     lint = subparsers.add_parser(
         "lint",

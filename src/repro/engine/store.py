@@ -36,10 +36,11 @@ import os
 import pickle
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Iterator, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.engine import EvaluationEngine
@@ -75,6 +76,8 @@ class StoreStats:
     entries_persisted: int = 0
     evicted_files: int = 0
     invalid_files: int = 0
+    single_flight_leads: int = 0
+    single_flight_waits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -84,6 +87,8 @@ class StoreStats:
             "entries_persisted": self.entries_persisted,
             "evicted_files": self.evicted_files,
             "invalid_files": self.invalid_files,
+            "single_flight_leads": self.single_flight_leads,
+            "single_flight_waits": self.single_flight_waits,
         }
 
 
@@ -174,6 +179,107 @@ class DesignPointStore:
         self.stats.entries_persisted += total
         self._enforce_cap(keep=path)
         return total
+
+    # ------------------------------------------------------------------
+    # single-flight: one computer per context across concurrent jobs
+    # ------------------------------------------------------------------
+    @contextmanager
+    def single_flight(
+        self,
+        engine: "EvaluationEngine",
+        stale_after: float = 600.0,
+        poll_interval: float = 0.05,
+        timeout: Optional[float] = None,
+    ) -> Iterator[bool]:
+        """Cross-process leader election for one engine context.
+
+        Two concurrent jobs bound to the *same* ``(application, profile)``
+        context would each compute every design point and race their
+        ``persist`` calls (safe, but wasteful — the whole computation runs
+        twice).  ``single_flight`` elects one leader per context via an
+        ``O_CREAT | O_EXCL`` lock file named after the context key:
+
+        * the **leader** (``yield True``) holds the lock for the body and
+          releases it afterwards — it should warm, evaluate and persist as
+          usual;
+        * a **follower** (``yield False``) blocks until the lock disappears
+          and only then enters the body — warming *after* the leader's
+          persist, so every design point the leader computed is served from
+          disk and the follower computes nothing.
+
+        The guard degrades, never deadlocks: a lock older than
+        ``stale_after`` seconds is treated as an orphan of a dead leader and
+        broken, and an optional ``timeout`` bounds the total wait — in both
+        cases the follower proceeds and at worst recomputes (bit-identical)
+        design points, which is exactly the behavior without the guard.
+        """
+        lock_path = self.directory / f"{self.context_key(engine)}.lock"
+        leader = self._try_lock(lock_path)
+        if leader:
+            self.stats.single_flight_leads += 1
+        else:
+            self.stats.single_flight_waits += 1
+            self._await_lock_release(lock_path, stale_after, poll_interval, timeout)
+        try:
+            yield leader
+        finally:
+            if leader:
+                self._discard(lock_path)
+
+    def _try_lock(self, path: Path) -> bool:
+        """Atomically create the lock file; False when another holder won."""
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable store directory: behave as if the lock were free —
+            # the guard is an optimization, never a correctness gate.
+            return True
+        with os.fdopen(handle, "w") as stream:
+            stream.write(str(os.getpid()))
+        return True
+
+    def _await_lock_release(
+        self,
+        path: Path,
+        stale_after: float,
+        poll_interval: float,
+        timeout: Optional[float],
+    ) -> None:
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                return  # leader released (or lock broken by a peer)
+            if age > stale_after:
+                # The leader died without releasing; break its lock so the
+                # context can make progress.  At worst two processes compute
+                # the same (bit-identical) entries — the pre-guard behavior.
+                self._discard(path)
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    def directory_stats(self) -> Dict[str, int]:
+        """Current on-disk footprint of the store (files and bytes).
+
+        Counts only persisted context files; in-flight ``*.tmp`` and
+        ``*.lock`` files are transient bookkeeping.  Used by the serve
+        layer's ``/healthz`` endpoint.
+        """
+        files = 0
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            files += 1
+        return {"files": files, "bytes": total, "max_bytes": self.max_bytes}
 
     # ------------------------------------------------------------------
     def _read(self, path: Path) -> Optional[Dict[str, object]]:

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.baselines import (
     max_hardening_strategy,
@@ -190,6 +191,7 @@ def _evaluate_benchmark_setting(
     strategies: Tuple[str, ...],
     store_dir: Optional[Path] = None,
     store_max_bytes: int = DEFAULT_MAX_BYTES,
+    single_flight: bool = False,
 ) -> Tuple[Dict[str, DesignResult], Dict[str, int]]:
     """Run the requested strategies for one application at one setting.
 
@@ -206,6 +208,14 @@ def _evaluate_benchmark_setting(
     process opens its own store handle (cheap — it is just a directory), and
     distinct benchmarks/settings hash to distinct files, so parallel sweeps
     need no cross-process locking.
+
+    ``single_flight`` additionally serializes *identical* contexts across
+    concurrent processes (the serve job queue's shared warm store): the
+    first process to reach a context computes it, everyone else blocks on
+    the store's lock file and then warm-loads the winner's entries instead
+    of recomputing them (see :meth:`DesignPointStore.single_flight`).
+    Results are bit-identical either way; the guard only removes duplicated
+    work.
     """
     node_types, profile = build_platform(
         benchmark,
@@ -217,28 +227,38 @@ def _evaluate_benchmark_setting(
     disk = {"disk_hits": 0, "disk_entries_loaded": 0}
     if store_dir is not None:
         store = DesignPointStore(store_dir, max_bytes=store_max_bytes)
-        disk["disk_entries_loaded"] = store.warm(engine)
-    algorithm = preset.mapping_algorithm()
-    # One scheduler (with the process-selected scheduler kernel) shared by
-    # all strategies: it is stateless across calls except for the memoized
-    # application structure, which is the same for MIN, MAX and OPT — so
-    # sharing also means the flat kernel compiles the application once per
-    # setting instead of once per strategy.
-    scheduler = ListScheduler()
-    builders = {
-        "MIN": min_hardening_strategy,
-        "MAX": max_hardening_strategy,
-        "OPT": optimized_strategy,
-    }
-    results = {
-        name: builders[name](node_types, algorithm, scheduler=scheduler).explore(
-            benchmark.application, profile, engine=engine
-        )
-        for name in strategies
-    }
-    if store is not None:
-        store.persist(engine)
-        disk["disk_hits"] = engine.disk_hits
+    guard = (
+        store.single_flight(engine)
+        if store is not None and single_flight
+        else nullcontext(True)
+    )
+    with guard:
+        # Warming happens inside the guard: a single-flight follower warms
+        # *after* the leader's persist, so the leader's design points are
+        # all served from disk and the follower computes none of them.
+        if store is not None:
+            disk["disk_entries_loaded"] = store.warm(engine)
+        algorithm = preset.mapping_algorithm()
+        # One scheduler (with the process-selected scheduler kernel) shared by
+        # all strategies: it is stateless across calls except for the memoized
+        # application structure, which is the same for MIN, MAX and OPT — so
+        # sharing also means the flat kernel compiles the application once per
+        # setting instead of once per strategy.
+        scheduler = ListScheduler()
+        builders = {
+            "MIN": min_hardening_strategy,
+            "MAX": max_hardening_strategy,
+            "OPT": optimized_strategy,
+        }
+        results = {
+            name: builders[name](node_types, algorithm, scheduler=scheduler).explore(
+                benchmark.application, profile, engine=engine
+            )
+            for name in strategies
+        }
+        if store is not None:
+            store.persist(engine)
+            disk["disk_hits"] = engine.disk_hits
     return results, disk
 
 
@@ -254,6 +274,7 @@ def _init_worker(
     strategies: Tuple[str, ...],
     store_dir: Optional[Path],
     store_max_bytes: int,
+    single_flight: bool = False,
 ) -> None:
     """Executor initializer: ship the benchmark suite once per worker.
 
@@ -267,6 +288,7 @@ def _init_worker(
     _WORKER_STATE["strategies"] = strategies
     _WORKER_STATE["store_dir"] = store_dir
     _WORKER_STATE["store_max_bytes"] = store_max_bytes
+    _WORKER_STATE["single_flight"] = single_flight
     _maybe_install_worker_sanitizer()
 
 
@@ -305,6 +327,7 @@ def _evaluate_indexed_setting(
         _WORKER_STATE["strategies"],
         _WORKER_STATE["store_dir"],
         _WORKER_STATE["store_max_bytes"],
+        _WORKER_STATE["single_flight"],
     )
 
 
@@ -338,6 +361,16 @@ class AcceptanceExperiment:
     store_max_bytes:
         Size cap of the store directory (least-recently-used files are
         evicted beyond it).
+    single_flight:
+        Serialize identical engine contexts across concurrent *processes*
+        sharing ``store_dir`` (the serve job queue): the first process
+        computes a context, the others wait and warm-load its entries
+        instead of recomputing them.  Bit-identical either way.
+    progress:
+        Optional callback receiving one JSON-native event dict per
+        completed benchmark evaluation (``setting_progress`` events with
+        running cache counters).  Observability only — it never changes
+        results.
     """
 
     def __init__(
@@ -348,6 +381,8 @@ class AcceptanceExperiment:
         n_jobs: Optional[int] = None,
         store_dir: Union[str, Path, None] = None,
         store_max_bytes: int = DEFAULT_MAX_BYTES,
+        single_flight: bool = False,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> None:
         self.preset = preset if preset is not None else ExperimentPreset.fast()
         unknown = set(strategies) - set(STRATEGIES)
@@ -359,6 +394,8 @@ class AcceptanceExperiment:
         self.n_jobs = n_jobs
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.store_max_bytes = store_max_bytes
+        self.single_flight = single_flight
+        self.progress = progress
         if benchmarks is not None:
             self.benchmarks = list(benchmarks)
         else:
@@ -394,6 +431,7 @@ class AcceptanceExperiment:
                     self.strategies,
                     self.store_dir,
                     self.store_max_bytes,
+                    self.single_flight,
                 ),
             )
             self._finalizer = weakref.finalize(
@@ -426,30 +464,43 @@ class AcceptanceExperiment:
         setting = SettingResult(ser=ser, hpd=hpd, results={name: [] for name in self.strategies})
         count = len(self.benchmarks)
         if self.n_jobs is None or self.n_jobs == 1:
-            per_benchmark = [
+            iterator = (
                 _evaluate_benchmark_setting(
                     benchmark, ser, hpd, self.preset, self.strategies,
-                    self.store_dir, self.store_max_bytes,
+                    self.store_dir, self.store_max_bytes, self.single_flight,
                 )
                 for benchmark in self.benchmarks
-            ]
+            )
         else:
             # The pool initializer ships the benchmark suite (and the shared
             # configuration) once per worker process for the whole sweep; the
             # tasks themselves are (index, ser, hpd) scalar triples.
             # ``pool.map`` preserves submission order, so results stay
             # bit-identical to serial.
-            per_benchmark = list(
-                self._pool().map(
-                    _evaluate_indexed_setting,
-                    [(index, ser, hpd) for index in range(count)],
-                )
+            iterator = self._pool().map(
+                _evaluate_indexed_setting,
+                [(index, ser, hpd) for index in range(count)],
             )
-        for results, disk in per_benchmark:
+        # Results are folded in (and progress emitted) as each benchmark
+        # completes; ``pool.map`` preserves submission order, so collection
+        # stays bit-identical to serial.
+        for completed, (results, disk) in enumerate(iterator, start=1):
             for name in self.strategies:
                 setting.results[name].append(results[name])
             setting.disk_hits += disk["disk_hits"]
             setting.disk_entries_loaded += disk["disk_entries_loaded"]
+            if self.progress is not None:
+                snapshot = setting.cache_summary()
+                snapshot.update(
+                    {
+                        "event": "setting_progress",
+                        "ser": ser,
+                        "hpd": hpd,
+                        "completed": completed,
+                        "total": count,
+                    }
+                )
+                self.progress(snapshot)
         self._cache[key] = setting
         return setting
 

@@ -175,6 +175,10 @@ def use_kernel(
             SCHED_KERNELS.set_default(_selection_name(SCHED_KERNELS, sched))
         yield SFP_KERNELS.active(), SCHED_KERNELS.active()
     finally:
+        # Snapshot/restore of worker-local state: serve pool workers run
+        # whole Sessions, so each process scopes its own registry
+        # selection; the parent never depends on the write.
+        # repro-lint: disable=R007
         SFP_KERNELS._default_name, SCHED_KERNELS._default_name = snapshot
 
 

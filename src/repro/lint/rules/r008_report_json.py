@@ -15,7 +15,13 @@ that hotfix into a checked invariant with three nets:
   and schema stamping are guaranteed — ad-hoc construction elsewhere
   bypasses the boundary;
 * the ``ScenarioOutcome.__post_init__`` canonicalization call itself is
-  pinned: removing it reverts the PR 8 fix, so its absence is a violation.
+  pinned: removing it reverts the PR 8 fix, so its absence is a violation;
+* the serve layer's HTTP response roots (``json_response`` /
+  ``event_line``) extend the same contract to every body leaving the
+  evaluation service: their payload argument (first positional, by the
+  call-site contract of :mod:`repro.serve.protocol`) is dataflow-checked
+  at every call site in ``repro.serve.*``, and the roots' own
+  ``canonicalize_payload`` calls are pinned like the outcome boundary.
 """
 
 from __future__ import annotations
@@ -35,6 +41,14 @@ from repro.lint.registry import LintRule, register_rule
 
 #: Modules allowed to construct ``RunReport`` directly (the API boundary).
 REPORT_BOUNDARY_MODULES = frozenset({"repro.api.session", "repro.api.report"})
+
+#: Serve-layer response roots: every HTTP body and NDJSON event line leaves
+#: through one of these, and both take the payload as their *first
+#: positional argument* by contract so call sites are statically checkable.
+SERVE_RESPONSE_ROOTS = frozenset({"json_response", "event_line"})
+
+#: The module defining (and canonicalizing inside) the serve response roots.
+SERVE_PROTOCOL_MODULE = "repro.serve.protocol"
 
 #: Resolved call targets whose results json.dumps rejects and the
 #: canonicalizer forwards verbatim.
@@ -69,10 +83,13 @@ class ReportJsonRule(LintRule):
     def check(self, project: Project) -> Iterator[Violation]:
         for module in project.modules.values():
             yield from self._check_outcome_contract(project, module)
+            yield from self._check_serve_protocol_contract(module)
             for info in module.functions.values():
                 yield from self._check_report_construction(project, module, info)
                 if _is_scenario_runner(project, module, info):
                     yield from self._check_runner(project, module, info)
+                if module.name.startswith("repro.serve"):
+                    yield from self._check_serve_responses(project, module, info)
 
     # ------------------------------------------------------------------
     # net 1: payload values in scenario runners
@@ -162,6 +179,67 @@ class ReportJsonRule(LintRule):
                     "ScenarioOutcome.__post_init__ must canonicalize the "
                     "payload (canonicalize_payload) — removing the call "
                     "reverts the PR 8 numpy-payload fix"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # net 4: payloads flowing into serve response roots
+    # ------------------------------------------------------------------
+    def _check_serve_responses(
+        self, project: Project, module: LintModule, info: FunctionInfo
+    ) -> Iterator[Violation]:
+        """Dataflow-check the payload at every serve response call site.
+
+        Response bodies leave the service without crossing the
+        ``ScenarioOutcome`` boundary, so the same non-JSON origins net 1
+        catches in runner payloads applies to every ``json_response`` /
+        ``event_line`` call in ``repro.serve.*``.  The protocol module
+        itself is exempt here: its roots canonicalize internally, which
+        net 5 pins.
+        """
+        if module.name == SERVE_PROTOCOL_MODULE:
+            return
+        flow = project.dataflow(info)
+        dict_literals = _dict_literal_bindings(info)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = project.call_target(module, node, info)
+            if target is None or target.rsplit(".", 1)[-1] not in SERVE_RESPONSE_ROOTS:
+                continue
+            payload = _payload_argument(node)
+            if payload is None:
+                continue
+            if isinstance(payload, ast.Name):
+                payload = dict_literals.get(payload.id, payload)
+            for anchor, message in self._payload_findings(project, flow, payload):
+                yield self._violation(module, info, anchor, message)
+
+    # ------------------------------------------------------------------
+    # net 5: the serve roots' canonicalization calls are pinned
+    # ------------------------------------------------------------------
+    def _check_serve_protocol_contract(
+        self, module: LintModule
+    ) -> Iterator[Violation]:
+        if module.name != SERVE_PROTOCOL_MODULE:
+            return
+        for name in sorted(SERVE_RESPONSE_ROOTS):
+            info = module.functions.get(f"{module.name}.{name}")
+            if info is not None and _calls_canonicalizer(info):
+                continue
+            anchor: ast.AST = info.node if info is not None else module.tree
+            yield Violation(
+                rule=self.rule_id,
+                module=module.name,
+                path=module.path,
+                line=getattr(anchor, "lineno", 1),
+                column=getattr(anchor, "col_offset", 0),
+                symbol=f"{module.name}.{name}",
+                message=(
+                    f"{name} must canonicalize its payload "
+                    "(canonicalize_payload) before json.dumps — serve "
+                    "response bodies never cross the ScenarioOutcome "
+                    "boundary, this call is their only canonicalization"
                 ),
             )
 
@@ -266,4 +344,9 @@ def _calls_canonicalizer(post_init: FunctionInfo) -> bool:
     return False
 
 
-__all__ = ["ReportJsonRule", "REPORT_BOUNDARY_MODULES"]
+__all__ = [
+    "ReportJsonRule",
+    "REPORT_BOUNDARY_MODULES",
+    "SERVE_PROTOCOL_MODULE",
+    "SERVE_RESPONSE_ROOTS",
+]

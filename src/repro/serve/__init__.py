@@ -1,0 +1,32 @@
+"""``repro.serve`` — async evaluation service over the scenario registry.
+
+A pure-stdlib ``asyncio`` HTTP/1.1 JSON front end: submit scenario runs as
+jobs (``POST /jobs``), watch their progress as an NDJSON event stream
+(``GET /jobs/<id>/events``) and collect the structured
+:class:`~repro.api.report.RunReport` (``GET /jobs/<id>``).  Jobs execute in
+a process pool sharing one persistent design-point store with a
+single-flight guard, so concurrent jobs over the same evaluation context
+compute each design point exactly once.
+
+Start it with ``repro-ftes serve`` or ``python -m repro.serve``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.jobs import DEFAULT_HOST, DEFAULT_PORT, Job, JobManager, ServeConfig
+from repro.serve.protocol import HttpError, Request, event_line, json_response
+from repro.serve.server import ServeApp, run_server
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "HttpError",
+    "Job",
+    "JobManager",
+    "Request",
+    "ServeApp",
+    "ServeConfig",
+    "event_line",
+    "json_response",
+    "run_server",
+]

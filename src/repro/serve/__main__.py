@@ -1,0 +1,10 @@
+"""``python -m repro.serve`` — alias for ``repro-ftes serve``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,223 @@
+"""Minimal HTTP/1.1 request/response plumbing for :mod:`repro.serve`.
+
+Pure-stdlib by design: the serve front end targets ``asyncio`` stream pairs
+directly instead of pulling in a web framework the container does not ship.
+The surface is deliberately small — parse one request per connection
+(``Connection: close`` semantics), encode JSON responses, and stream NDJSON
+event lines.
+
+**Canonicalization contract (R008).**  Every payload that leaves the server
+as a response body flows through exactly two roots defined here —
+:func:`json_response` for complete documents and :func:`event_line` for
+NDJSON stream lines — and both route the payload through
+:func:`repro.api.registry.canonicalize_payload` before ``json.dumps``.  The
+payload is the *first positional argument* of both roots by design so the
+static R008 rule can locate and dataflow-check it at call sites.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader
+
+from repro.api.registry import canonicalize_payload
+
+#: Upper bound on the request head (request line + headers), in bytes.
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Upper bound on a request body (job submissions are small JSON), in bytes.
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Reason phrases for the status codes the server actually emits.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A client-visible HTTP failure carrying its status code.
+
+    Raised by request parsing and route handlers; the connection handler
+    converts it into a JSON error body.  ``retry_after`` (seconds) is
+    rendered as a ``Retry-After`` header — the backpressure contract of the
+    bounded job queue (429).
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[int] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request (method, split target, headers, raw body)."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json_body(self) -> Dict[str, Any]:
+        """Decode the body as a JSON object; malformed input is a 400."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"malformed JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: StreamReader) -> Optional[Request]:
+    """Parse one HTTP/1.1 request from ``reader``.
+
+    Returns ``None`` when the client closed the connection before sending a
+    request line (a clean keep-alive close, nothing to answer).  Any other
+    malformed input raises :class:`HttpError`.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise HttpError(400, "truncated request head") from None
+    except LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes any byte
+        raise HttpError(400, "undecodable request head") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    path, query = _split_target(target)
+    body = await _read_body(reader, headers)
+    return Request(method=method.upper(), path=path, query=query, headers=headers, body=body)
+
+
+def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return split.path or "/", query
+
+
+async def _read_body(reader: StreamReader, headers: Dict[str, str]) -> bytes:
+    raw_length = headers.get("content-length")
+    if raw_length is None:
+        if headers.get("transfer-encoding"):
+            raise HttpError(400, "chunked request bodies are not supported")
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"malformed Content-Length: {raw_length!r}") from None
+    if length < 0:
+        raise HttpError(400, f"malformed Content-Length: {raw_length!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    try:
+        return await reader.readexactly(length)
+    except IncompleteReadError:
+        raise HttpError(400, "request body shorter than Content-Length") from None
+
+
+# ----------------------------------------------------------------------
+# response encoding — the two R008 canonicalization roots
+# ----------------------------------------------------------------------
+def json_response(
+    payload: Dict[str, Any],
+    status: int = 200,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Encode one complete JSON response (headers + canonicalized body).
+
+    ``payload`` is the first positional argument by contract — the static
+    R008 rule dataflow-checks it at every call site, and the body always
+    passes through :func:`canonicalize_payload` here regardless.
+    """
+    body = json.dumps(canonicalize_payload(payload), sort_keys=True).encode("utf-8")
+    return _response_head(status, "application/json", len(body), extra_headers) + body
+
+
+def event_line(payload: Dict[str, Any]) -> bytes:
+    """Encode one canonicalized NDJSON event line (no HTTP framing).
+
+    Shared by the worker-side spool writer and the server-side stream
+    endpoint so both sides of the event pipe emit identical bytes.  Like
+    :func:`json_response`, the payload is the first positional argument by
+    contract for the R008 rule.
+    """
+    return json.dumps(canonicalize_payload(payload), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def error_response(error: HttpError) -> bytes:
+    """Render an :class:`HttpError` as a JSON error document."""
+    extra: Optional[Dict[str, str]] = None
+    if error.retry_after is not None:
+        extra = {"Retry-After": str(error.retry_after)}
+    return json_response(
+        {"error": error.message, "status": error.status}, error.status, extra
+    )
+
+
+def stream_head(content_type: str = "application/x-ndjson") -> bytes:
+    """Response head for an unframed stream delimited by connection close."""
+    reason = STATUS_REASONS[200]
+    return (
+        f"HTTP/1.1 200 {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def _response_head(
+    status: int,
+    content_type: str,
+    content_length: int,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {content_length}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -176,3 +176,64 @@ class TestCruiseControlCommand:
         assert exit_code == 0
         assert "Cruise controller" in captured
         assert "OPT cost saving over MAX" in captured
+
+
+class TestServeCommand:
+    def test_serve_flags_parse(self):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            [
+                "serve",
+                "--port", "9000",
+                "--workers", "4",
+                "--queue-size", "8",
+                "--job-timeout", "30",
+                "--no-single-flight",
+                "--sanitize",
+            ]
+        )
+        assert arguments.command == "serve"
+        assert arguments.port == 9000
+        assert arguments.workers == 4
+        assert arguments.queue_size == 8
+        assert arguments.job_timeout == 30.0
+        assert arguments.no_single_flight is True
+        assert arguments.sanitize is True
+
+    @pytest.mark.parametrize("flag", ["--workers", "--queue-size"])
+    def test_degenerate_counts_rejected_at_parse_time(self, flag):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", flag, "0"])
+
+    def test_serve_builds_the_config_and_delegates(self, monkeypatch, tmp_path):
+        import repro.serve
+
+        seen = {}
+
+        def fake_run_server(config):
+            seen["config"] = config
+            return 0
+
+        monkeypatch.setattr(repro.serve, "run_server", fake_run_server)
+        exit_code = main(
+            [
+                "serve",
+                "--port", "9100",
+                "--workers", "3",
+                "--spool-dir", str(tmp_path / "spool"),
+                "--no-single-flight",
+            ]
+        )
+        assert exit_code == 0
+        config = seen["config"]
+        assert config.host == "127.0.0.1"
+        assert config.port == 9100
+        assert config.workers == 3
+        assert config.single_flight is False
+        assert config.spool_dir == tmp_path / "spool"
+
+    def test_degenerate_timeout_is_a_clean_error(self, capsys):
+        exit_code = main(["serve", "--job-timeout", "-1"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

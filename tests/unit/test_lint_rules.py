@@ -1249,3 +1249,108 @@ class TestReportJson:
             }
         )
         assert findings(project, "R008") == []
+
+    # ------------------------------------------------------------------
+    # nets 4 and 5: the serve response roots
+    # ------------------------------------------------------------------
+    #: A conforming protocol module: both roots canonicalize, so net 5 stays
+    #: quiet and fixtures can focus on the call-site checks of net 4.
+    GOOD_PROTOCOL = """
+    def canonicalize_payload(value):
+        return value
+
+    def json_response(payload, status=200, extra_headers=None):
+        return canonicalize_payload(payload)
+
+    def event_line(payload):
+        return canonicalize_payload(payload)
+    """
+
+    def test_set_in_serve_response_payload_fires(self):
+        project = project_from(
+            **{
+                "repro.serve.protocol": self.GOOD_PROTOCOL,
+                "repro.serve.server": """
+                from repro.serve.protocol import json_response
+
+                def healthz(depths):
+                    return json_response({"status": "ok", "states": {1, 2}})
+                """,
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert violation.module == "repro.serve.server"
+        assert "set in a report payload" in violation.message
+
+    def test_bytes_via_named_dict_in_event_line_fires(self):
+        # The payload is bound to a name first; the dict-literal binding
+        # must be followed, same as for ScenarioOutcome call sites.
+        project = project_from(
+            **{
+                "repro.serve.protocol": self.GOOD_PROTOCOL,
+                "repro.serve.server": """
+                from repro.serve.protocol import event_line
+
+                def emit(writer, raw):
+                    event = {"event": "job_done", "blob": bytes(raw)}
+                    return event_line(event)
+                """,
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert violation.symbol == "repro.serve.server.emit"
+        assert "bytes" in violation.message
+
+    def test_native_serve_payloads_are_quiet(self):
+        project = project_from(
+            **{
+                "repro.serve.protocol": self.GOOD_PROTOCOL,
+                "repro.serve.server": """
+                from repro.serve.protocol import event_line, json_response
+
+                def healthz(counts):
+                    return json_response({"status": "ok", "jobs": counts})
+
+                def emit(job_id):
+                    return event_line({"event": "job_done", "id": job_id})
+                """,
+            }
+        )
+        assert findings(project, "R008") == []
+
+    def test_serve_root_without_canonicalization_fires(self):
+        # Stripping canonicalize_payload from a root reverts the serve
+        # layer's only canonicalization point — net 5 pins both roots.
+        project = project_from(
+            **{
+                "repro.serve.protocol": """
+                def canonicalize_payload(value):
+                    return value
+
+                def json_response(payload, status=200, extra_headers=None):
+                    return payload
+
+                def event_line(payload):
+                    return canonicalize_payload(payload)
+                """
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert violation.symbol == "repro.serve.protocol.json_response"
+        assert "must canonicalize its payload" in violation.message
+
+    def test_missing_serve_root_anchors_on_the_module(self):
+        # A protocol module that lost a root entirely still reports it.
+        project = project_from(
+            **{
+                "repro.serve.protocol": """
+                def canonicalize_payload(value):
+                    return value
+
+                def json_response(payload, status=200, extra_headers=None):
+                    return canonicalize_payload(payload)
+                """
+            }
+        )
+        (violation,) = findings(project, "R008")
+        assert violation.symbol == "repro.serve.protocol.event_line"

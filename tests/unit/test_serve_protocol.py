@@ -1,0 +1,152 @@
+"""HTTP protocol layer of repro.serve: parsing, encoding, canonicalization."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    error_response,
+    event_line,
+    json_response,
+    read_request,
+    stream_head,
+)
+
+
+def _parse(raw: bytes):
+    """Drive read_request against an in-memory StreamReader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+def test_parses_request_line_headers_and_query():
+    request = _parse(
+        b"GET /jobs/job-000001?verbose=1&tail= HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"X-Custom:  spaced value \r\n"
+        b"\r\n"
+    )
+    assert request.method == "GET"
+    assert request.path == "/jobs/job-000001"
+    assert request.query == {"verbose": "1", "tail": ""}
+    assert request.headers["host"] == "localhost"
+    assert request.headers["x-custom"] == "spaced value"
+    assert request.body == b""
+
+
+def test_reads_content_length_body():
+    body = json.dumps({"scenario": "fig6a"}).encode()
+    request = _parse(
+        b"POST /jobs HTTP/1.1\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    assert request.method == "POST"
+    assert request.json_body() == {"scenario": "fig6a"}
+
+
+def test_clean_eof_before_any_bytes_returns_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize(
+    "raw, status",
+    [
+        (b"GARBAGE\r\n\r\n", 400),  # malformed request line
+        (b"GET /x SPDY/3\r\n\r\n", 400),  # unsupported protocol token
+        (b"GET /x HTTP/1.1\r\nBadHeader\r\n\r\n", 400),  # no colon
+        (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+        (b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+        (b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 400),  # short body
+        (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+        (
+            b"POST /x HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode(),
+            413,
+        ),
+        (b"GET /x HTTP/1.1\r\nTrunc", 400),  # EOF mid-head
+    ],
+)
+def test_malformed_requests_raise_http_errors(raw, status):
+    with pytest.raises(HttpError) as info:
+        _parse(raw)
+    assert info.value.status == status
+
+
+def test_json_body_rejects_non_object_payloads():
+    request = Request(method="POST", path="/jobs", body=b"[1, 2]")
+    with pytest.raises(HttpError) as info:
+        request.json_body()
+    assert info.value.status == 400
+    with pytest.raises(HttpError):
+        Request(method="POST", path="/jobs", body=b"").json_body()
+    with pytest.raises(HttpError):
+        Request(method="POST", path="/jobs", body=b"{not json").json_body()
+
+
+# ----------------------------------------------------------------------
+# response encoding + canonicalization (the R008 serve roots)
+# ----------------------------------------------------------------------
+def _split_response(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head.decode("latin-1").split("\r\n"), body
+
+
+def test_json_response_frames_a_canonical_body():
+    numpy = pytest.importorskip("numpy")
+    lines, body = _split_response(
+        json_response({"count": numpy.int64(3), "values": (1, 2)})
+    )
+    assert lines[0] == "HTTP/1.1 200 OK"
+    assert "Content-Type: application/json" in lines
+    assert f"Content-Length: {len(body)}" in lines
+    assert "Connection: close" in lines
+    # Canonicalized: the numpy scalar and the tuple became JSON natives.
+    assert json.loads(body) == {"count": 3, "values": [1, 2]}
+
+
+def test_json_response_carries_status_and_extra_headers():
+    lines, body = _split_response(
+        json_response({"ok": False}, 202, {"Location": "/jobs/job-000000"})
+    )
+    assert lines[0] == "HTTP/1.1 202 Accepted"
+    assert "Location: /jobs/job-000000" in lines
+
+
+def test_event_line_is_one_canonical_json_line():
+    numpy = pytest.importorskip("numpy")
+    line = event_line({"event": "setting_progress", "hits": numpy.int64(7)})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert json.loads(line) == {"event": "setting_progress", "hits": 7}
+
+
+def test_error_response_renders_retry_after():
+    lines, body = _split_response(
+        error_response(HttpError(429, "queue full", retry_after=7))
+    )
+    assert lines[0].startswith("HTTP/1.1 429")
+    assert "Retry-After: 7" in lines
+    assert json.loads(body) == {"error": "queue full", "status": 429}
+
+
+def test_stream_head_has_no_content_length():
+    head = stream_head().decode("latin-1")
+    assert "Content-Length" not in head
+    assert "application/x-ndjson" in head
+    assert "Connection: close" in head

@@ -251,3 +251,140 @@ def test_different_contexts_hash_to_different_files(tmp_path, context):
     a = store.path_for(EvaluationEngine(application, profile))
     b = store.path_for(EvaluationEngine(fig3_application(), fig3_profile()))
     assert a != b
+
+
+# ----------------------------------------------------------------------
+# single-flight guard (one computer per context across concurrent jobs)
+# ----------------------------------------------------------------------
+def _lock_path(store: DesignPointStore, engine: EvaluationEngine) -> Path:
+    return store.directory / f"{store.context_key(engine)}.lock"
+
+
+def test_single_flight_leader_holds_and_releases_the_lock(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    engine = EvaluationEngine(application, profile)
+    with store.single_flight(engine) as leader:
+        assert leader is True
+        assert _lock_path(store, engine).exists()
+    assert not _lock_path(store, engine).exists()
+    assert store.stats.single_flight_leads == 1
+    assert store.stats.single_flight_waits == 0
+
+
+def test_single_flight_releases_the_lock_when_the_body_raises(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    engine = EvaluationEngine(application, profile)
+    with pytest.raises(RuntimeError):
+        with store.single_flight(engine):
+            raise RuntimeError("leader died mid-flight")
+    assert not _lock_path(store, engine).exists()
+
+
+def test_single_flight_follower_waits_until_the_leader_releases(tmp_path, context):
+    import threading
+    import time as time_module
+
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    engine = EvaluationEngine(application, profile)
+    lock = _lock_path(store, engine)
+    lock.write_text("12345")  # a live foreign leader
+
+    def release():
+        time_module.sleep(0.3)
+        lock.unlink()
+
+    thread = threading.Thread(target=release)
+    thread.start()
+    start = time_module.monotonic()
+    with store.single_flight(engine) as leader:
+        waited = time_module.monotonic() - start
+        assert leader is False
+    thread.join()
+    assert waited >= 0.25
+    assert store.stats.single_flight_waits == 1
+    # A follower never deletes the leader's lock on exit.
+    assert not lock.exists()
+
+
+def test_single_flight_breaks_stale_locks(tmp_path, context):
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    engine = EvaluationEngine(application, profile)
+    lock = _lock_path(store, engine)
+    lock.write_text("12345")
+    ancient = os.path.getmtime(lock) - 10_000.0
+    os.utime(lock, (ancient, ancient))
+    with store.single_flight(engine, stale_after=600.0) as leader:
+        # The orphaned lock of a dead leader is broken and the caller
+        # proceeds (as a follower — at worst it recomputes).
+        assert leader is False
+    assert not lock.exists()
+
+
+def test_single_flight_timeout_bounds_the_wait(tmp_path, context):
+    import time as time_module
+
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    engine = EvaluationEngine(application, profile)
+    lock = _lock_path(store, engine)
+    lock.write_text("12345")  # never released
+    start = time_module.monotonic()
+    with store.single_flight(engine, timeout=0.2) as leader:
+        assert leader is False
+    assert time_module.monotonic() - start < 5.0
+    assert lock.exists()  # fresh foreign lock is left alone
+    lock.unlink()
+
+
+def test_single_flight_follower_serves_the_leaders_points_from_disk(tmp_path, context):
+    """The serve-layer contract: follower warms after the leader's persist."""
+    application, profile = context
+    store = DesignPointStore(tmp_path)
+    leader_engine = _engine_with_entries(context)
+    with store.single_flight(leader_engine) as leader:
+        assert leader is True
+        store.persist(leader_engine)
+
+    follower_engine = EvaluationEngine(application, profile)
+    follower_store = DesignPointStore(tmp_path)
+    with follower_store.single_flight(follower_engine):
+        loaded = follower_store.warm(follower_engine)
+    assert loaded > 0
+    value = follower_engine.node_exceedance((1.2e-5, 1.3e-5), 1, 11)
+    assert value == leader_engine.node_exceedance((1.2e-5, 1.3e-5), 1, 11)
+    assert follower_engine.exceedance.stats.misses == 0
+
+
+# ----------------------------------------------------------------------
+# directory stats and lock-file hygiene
+# ----------------------------------------------------------------------
+def test_directory_stats_counts_persisted_files_only(tmp_path, context):
+    store = DesignPointStore(tmp_path)
+    assert store.directory_stats() == {
+        "files": 0,
+        "bytes": 0,
+        "max_bytes": store.max_bytes,
+    }
+    engine = _engine_with_entries(context)
+    store.persist(engine)
+    (tmp_path / "in-flight.tmp").write_bytes(b"x" * 64)
+    (tmp_path / "abc.lock").write_text("123")
+    stats = store.directory_stats()
+    assert stats["files"] == 1
+    assert stats["bytes"] == store.path_for(engine).stat().st_size
+    assert stats["max_bytes"] == store.max_bytes
+
+
+def test_eviction_never_touches_lock_files(tmp_path, context):
+    store = DesignPointStore(tmp_path, max_bytes=1)  # evict everything
+    lock = tmp_path / "deadbeef.lock"
+    lock.write_text("123")
+    engine = _engine_with_entries(context)
+    store.persist(engine)
+    # The freshly written file is exempt; a second persist of a different
+    # cap-busting store must still leave the lock alone.
+    assert lock.exists()
